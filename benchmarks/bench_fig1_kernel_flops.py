@@ -1,0 +1,71 @@
+"""Fig. 1 — the generated computational kernel and its multiplication count.
+
+The paper shows the CAS-generated C++ volume kernel for the 1X2V p=1 tensor
+basis and quotes ~70 multiplications for the modal volume update vs ~250 for
+the alias-free nodal quadrature equivalent (a ratio of ~3.5x).  Here we
+emit the same kernel (Python form), count multiplications exactly, and time
+one evaluation over a block of cells.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cas.codegen import compile_kernel, count_multiplications, emit_kernel_source
+from repro.grid import Grid, PhaseGrid
+from repro.kernels import get_vlasov_kernels
+from repro.kernels.flops import (
+    alias_free_quadrature_points_1d,
+    modal_update_multiplications,
+    nodal_update_multiplications,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return get_vlasov_kernels(1, 2, 1, "tensor")
+
+
+def test_fig1_volume_kernel_mult_counts(benchmark, bundle):
+    """Modal volume kernel mults ~O(100), nodal quadrature several-fold more."""
+    modal = benchmark.pedantic(
+        modal_update_multiplications, args=(bundle,), iterations=1, rounds=1
+    )
+    nodal = nodal_update_multiplications(bundle.num_basis, 1, 2, 1)
+    ratio = nodal["volume_total"] / modal["volume_total"]
+    print("\n=== Fig. 1: 1X2V p=1 tensor volume kernel ===")
+    print(f"paper: modal ~70 multiplications, nodal ~250 (ratio ~3.5x)")
+    print(f"ours : modal {modal['volume_total']} multiplications, "
+          f"nodal {nodal['volume_total']} (ratio {ratio:.1f}x)")
+    assert 30 <= modal["volume_total"] <= 300   # same order as the paper's ~70
+    assert ratio > 3.0                          # nodal several-fold costlier
+
+
+def test_fig1_kernel_is_matrix_free(benchmark, bundle):
+    src = benchmark.pedantic(
+        emit_kernel_source, args=("vol", bundle.vol_stream[0]),
+        iterations=1, rounds=1,
+    )
+    assert "for " not in src and "dot" not in src
+    # every coefficient baked in at double precision, like the paper's C++
+    assert any(ch.isdigit() for ch in src)
+
+
+def test_fig1_kernel_eval(benchmark, bundle, rng):
+    """Time the generated (unrolled-source) kernel over a cell block."""
+    pg = PhaseGrid(Grid([0.0], [1.0], [8]), Grid([-2, -2], [2, 2], [8, 8]))
+    aux = pg.base_aux()
+    aux["qm"] = -1.0
+    f = rng.standard_normal((bundle.num_basis,) + pg.cells)
+    out = np.zeros_like(f)
+    kern = compile_kernel("k", bundle.vol_stream[0])
+    benchmark(kern, f, aux, out)
+
+
+def test_fig1_sparse_operator_eval(benchmark, bundle, rng):
+    """Time the equivalent sparse-operator path (the production path)."""
+    pg = PhaseGrid(Grid([0.0], [1.0], [8]), Grid([-2, -2], [2, 2], [8, 8]))
+    aux = pg.base_aux()
+    aux["qm"] = -1.0
+    f = rng.standard_normal((bundle.num_basis,) + pg.cells)
+    out = np.zeros_like(f)
+    benchmark(bundle.vol_stream[0].apply, f, aux, out)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Electrostatic two-stream instability with phase-space diagnostics.
+
+Two counter-streaming electron beams are two-stream unstable; the field
+grows exponentially at the kinetic growth rate, traps particles, and rolls
+the distribution function into the classic phase-space vortex.  A continuum
+method renders the vortex noise-free — the property the paper's Fig. 5
+showcases (here in the cheaper electrostatic 1X1V setting; see
+``weibel_beams_2x2v.py`` for the full electromagnetic analogue).
+
+Run:  python examples/two_stream_instability.py
+"""
+
+import numpy as np
+
+from repro import Grid, Species
+from repro.apps.vlasov_poisson import VlasovPoissonApp
+from repro.basis.modal import ModalBasis
+from repro.diagnostics import fit_exponential_growth, plane_slice
+from repro.linear import two_stream_growth_rate
+
+
+def main():
+    drift, vt, k = 2.0, 0.5, 0.5
+    length = 2 * np.pi / k
+
+    def beams(x, v):
+        pert = 1 + 1e-4 * np.cos(k * x)
+        norm = np.sqrt(2 * np.pi * vt ** 2)
+        return pert * 0.5 * (
+            np.exp(-((v - drift) ** 2) / (2 * vt ** 2))
+            + np.exp(-((v + drift) ** 2) / (2 * vt ** 2))
+        ) / norm
+
+    electrons = Species("elc", -1.0, 1.0, Grid([-8.0], [8.0], [48]), beams)
+    app = VlasovPoissonApp(
+        Grid([0.0], [length], [24]), [electrons], poly_order=2, cfl=0.6
+    )
+
+    times, energies = [], []
+    app.run(
+        40.0,
+        diagnostics=lambda a: (times.append(a.time), energies.append(a.field_energy())),
+    )
+    t = np.array(times)
+    e = np.array(energies)
+
+    fit = fit_exponential_growth(t, e, t_min=5.0, t_max=18.0)
+    theory = two_stream_growth_rate(k=k, drift=drift, vt=vt)
+    print(f"measured growth rate : {fit.rate/2:.4f}")
+    print(f"linear kinetic theory: {theory.imag:.4f}")
+    print(f"saturation field energy: {e.max():.3e} (initial {e[0]:.3e})")
+
+    # phase-space vortex snapshot (ASCII rendering of the x-v plane)
+    basis = ModalBasis(2, app.poly_order, app.family)
+    sl = plane_slice(
+        app.f["elc"], app.phase_grids["elc"], basis, axes=(0, 1), fixed={},
+        resolution=48,
+    )
+    vals = sl["values"].T[::-1]  # v on the vertical axis, up = positive
+    lo, hi = vals.min(), vals.max()
+    ramp = " .:-=+*#%@"
+    print("\nf(x, v) at end of run (phase-space vortex):")
+    for row in vals[::2]:
+        idx = ((row - lo) / (hi - lo + 1e-30) * (len(ramp) - 1)).astype(int)
+        print("".join(ramp[i] for i in idx))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline (no wheel pkg)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Alias-free, matrix-free, quadrature-free modal DG algorithms for "
+        "(plasma) kinetic equations — reproduction of Hakim & Juno, SC 2020"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+)

@@ -1,0 +1,73 @@
+"""repro — alias-free, matrix-free, quadrature-free modal DG algorithms for
+(plasma) kinetic equations.
+
+A from-scratch Python reproduction of Hakim & Juno, *"Alias-free,
+matrix-free, and quadrature-free discontinuous Galerkin algorithms for
+(plasma) kinetic equations"*, SC 2020 (the Gkeyll Vlasov–Maxwell solver).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Grid, Species, FieldSpec, VlasovMaxwellApp
+
+    k = 0.5
+    elc = Species("elc", charge=-1.0, mass=1.0,
+                  velocity_grid=Grid([-6.0], [6.0], [16]),
+                  initial=lambda x, v: (1 + 0.01*np.cos(k*x))
+                      * np.exp(-v**2/2) / np.sqrt(2*np.pi))
+    app = VlasovMaxwellApp(
+        conf_grid=Grid([0.0], [2*np.pi/k], [16]),
+        species=[elc],
+        field=FieldSpec(initial={"Ex": lambda x: -0.01/k*np.sin(k*x)}),
+        poly_order=2)
+    app.run(10.0)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .apps.vlasov_maxwell import FieldSpec, Species, VlasovMaxwellApp
+from .apps.vlasov_poisson import VlasovPoissonApp
+from .basis.modal import ModalBasis
+from .basis.multiindex import FAMILIES, num_basis
+from .collisions.bgk import BGKCollisions
+from .collisions.lbo import LBOCollisions
+from .diagnostics.energy import EnergyHistory
+from .diagnostics.growth import fit_exponential_growth
+from .fields.maxwell import MaxwellSolver
+from .fields.poisson import Poisson1D
+from .grid.cartesian import Grid
+from .grid.phase import PhaseGrid
+from .kernels.registry import get_vlasov_kernels
+from .moments.calc import MomentCalculator, integrate_conf_field
+from .projection import project_on_grid, project_phase_function
+from .vlasov.modal_solver import VlasovModalSolver
+from .vlasov.quadrature_solver import VlasovQuadratureSolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Grid",
+    "PhaseGrid",
+    "ModalBasis",
+    "FAMILIES",
+    "num_basis",
+    "VlasovModalSolver",
+    "VlasovQuadratureSolver",
+    "MaxwellSolver",
+    "Poisson1D",
+    "MomentCalculator",
+    "integrate_conf_field",
+    "LBOCollisions",
+    "BGKCollisions",
+    "Species",
+    "FieldSpec",
+    "VlasovMaxwellApp",
+    "VlasovPoissonApp",
+    "EnergyHistory",
+    "fit_exponential_growth",
+    "get_vlasov_kernels",
+    "project_on_grid",
+    "project_phase_function",
+    "__version__",
+]

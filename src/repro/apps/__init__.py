@@ -1,0 +1,5 @@
+"""High-level simulation "Apps" (the Gkeyll App-system analogue)."""
+
+from .vlasov_maxwell import FieldSpec, Species, VlasovMaxwellApp
+
+__all__ = ["VlasovMaxwellApp", "Species", "FieldSpec"]

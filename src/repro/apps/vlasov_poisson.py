@@ -1,0 +1,171 @@
+"""Electrostatic Vlasov–Poisson App (1-D configuration space).
+
+The paper's framework also targets Poisson-coupled kinetic systems
+(self-gravitating systems, electrostatic plasmas).  This App closes the
+kinetic equation with the exact 1-D DG electrostatic solve of
+:class:`~repro.fields.poisson.Poisson1D` instead of evolving Maxwell's
+equations: the field is a *functional* of the instantaneous charge density,
+so classic benchmarks (Landau damping, electrostatic two-stream) run without
+resolving light-speed CFL limits.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..basis.modal import ModalBasis
+from ..fields.poisson import Poisson1D
+from ..grid.cartesian import Grid
+from ..grid.phase import PhaseGrid
+from ..moments.calc import MomentCalculator
+from ..projection import project_phase_function
+from ..timestepping.ssprk import get_stepper
+from ..vlasov.modal_solver import VlasovModalSolver
+from .vlasov_maxwell import Species
+
+__all__ = ["VlasovPoissonApp"]
+
+
+class VlasovPoissonApp:
+    """Multi-species electrostatic kinetic simulation in 1X geometry.
+
+    Parameters mirror :class:`~repro.apps.vlasov_maxwell.VlasovMaxwellApp`;
+    ``neutralize=True`` adds the uniform background charge that makes the
+    periodic domain neutral (e.g. immobile ions for electron-only runs).
+    """
+
+    def __init__(
+        self,
+        conf_grid: Grid,
+        species: Sequence[Species],
+        poly_order: int = 2,
+        family: str = "serendipity",
+        cfl: float = 0.9,
+        stepper: str = "ssp-rk3",
+        epsilon0: float = 1.0,
+        neutralize: bool = True,
+        ic_quad_order: Optional[int] = None,
+    ):
+        if conf_grid.ndim != 1:
+            raise ValueError("VlasovPoissonApp supports 1-D configuration space")
+        self.conf_grid = conf_grid
+        self.species = list(species)
+        self.poly_order = int(poly_order)
+        self.family = family
+        self.cfl = float(cfl)
+        self.neutralize = neutralize
+        self.stepper = get_stepper(stepper)
+        self.time = 0.0
+        self.step_count = 0
+
+        self.cfg_basis = ModalBasis(1, poly_order, family)
+        self.poisson = Poisson1D(conf_grid, self.cfg_basis, epsilon0)
+        self.phase_grids: Dict[str, PhaseGrid] = {}
+        self.solvers: Dict[str, VlasovModalSolver] = {}
+        self.moments: Dict[str, MomentCalculator] = {}
+        self.f: Dict[str, np.ndarray] = {}
+        for sp in self.species:
+            pg = PhaseGrid(conf_grid, sp.velocity_grid)
+            self.phase_grids[sp.name] = pg
+            solver = VlasovModalSolver(pg, poly_order, family, sp.charge, sp.mass)
+            self.solvers[sp.name] = solver
+            self.moments[sp.name] = MomentCalculator(pg, solver.kernels)
+            basis = ModalBasis(pg.pdim, poly_order, family)
+            self.f[sp.name] = project_phase_function(sp.initial, pg, basis, ic_quad_order)
+
+    # ------------------------------------------------------------------ #
+    def charge_density(self, state: Dict[str, np.ndarray]) -> np.ndarray:
+        rho = np.zeros((self.cfg_basis.num_basis,) + self.conf_grid.cells)
+        for sp in self.species:
+            rho += sp.charge * self.moments[sp.name].compute(
+                "M0", state[f"f/{sp.name}"]
+            )
+        if self.neutralize:
+            rho[0] -= rho[0].mean()
+        return rho
+
+    def electric_field(self, state: Dict[str, np.ndarray]) -> np.ndarray:
+        """Full EM-state array with only ``Ex`` populated (solver interface)."""
+        rho = self.charge_density(state)
+        ex = self.poisson.solve(rho)
+        em = np.zeros((8, self.cfg_basis.num_basis) + self.conf_grid.cells)
+        em[0] = ex
+        return em
+
+    def state(self) -> Dict[str, np.ndarray]:
+        return {f"f/{sp.name}": self.f[sp.name] for sp in self.species}
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        for sp in self.species:
+            self.f[sp.name] = state[f"f/{sp.name}"]
+
+    def rhs(self, state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        em = self.electric_field(state)
+        out = {}
+        for sp in self.species:
+            f = state[f"f/{sp.name}"]
+            df = self.solvers[sp.name].rhs(f, em)
+            if sp.collisions is not None:
+                sp.collisions.rhs(f, self.moments[sp.name], out=df, accumulate=True)
+            out[f"f/{sp.name}"] = df
+        return out
+
+    # ------------------------------------------------------------------ #
+    def suggested_dt(self) -> float:
+        em = self.electric_field(self.state())
+        freq = 0.0
+        for sp in self.species:
+            freq = max(freq, self.solvers[sp.name].max_frequency(em))
+            if sp.collisions is not None:
+                freq = max(freq, sp.collisions.max_frequency())
+        return self.cfl / freq
+
+    def step(self, dt: Optional[float] = None) -> float:
+        if dt is None:
+            dt = self.suggested_dt()
+        self.set_state(self.stepper.step(self.state(), self.rhs, dt))
+        self.time += dt
+        self.step_count += 1
+        return dt
+
+    def run(self, t_end: float, diagnostics=None, max_steps: int = 10**9):
+        start = time.perf_counter()
+        steps = 0
+        if diagnostics is not None:
+            diagnostics(self)
+        while self.time < t_end - 1e-12 and steps < max_steps:
+            dt = min(self.suggested_dt(), t_end - self.time)
+            self.step(dt)
+            steps += 1
+            if diagnostics is not None:
+                diagnostics(self)
+        wall = time.perf_counter() - start
+        return {
+            "steps": steps,
+            "wall_time": wall,
+            "wall_per_step": wall / max(steps, 1),
+            "time": self.time,
+        }
+
+    # ------------------------------------------------------------------ #
+    def field_energy(self) -> float:
+        """Electrostatic energy ``(eps0/2) int E^2 dx``."""
+        em = self.electric_field(self.state())
+        jac = 0.5 * self.conf_grid.dx[0]
+        return 0.5 * self.poisson.epsilon0 * float(np.sum(em[0] ** 2)) * jac
+
+    def particle_energy(self, name: str) -> float:
+        sp = next(s for s in self.species if s.name == name)
+        return self.moments[name].particle_energy(self.f[name], sp.mass)
+
+    def total_energy(self) -> float:
+        return self.field_energy() + sum(
+            self.particle_energy(sp.name) for sp in self.species
+        )
+
+    def particle_number(self, name: str) -> float:
+        return self.moments[name].number(self.f[name])
+

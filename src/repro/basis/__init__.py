@@ -1,0 +1,17 @@
+"""Modal orthonormal bases (tensor / serendipity / maximal-order)."""
+
+from .legendre import legendre_coefficients, legendre_norm_squared
+from .modal import ModalBasis, gauss_points_1d, tensor_gauss_points
+from .multiindex import FAMILIES, multi_indices, num_basis, superlinear_degree
+
+__all__ = [
+    "ModalBasis",
+    "FAMILIES",
+    "multi_indices",
+    "num_basis",
+    "superlinear_degree",
+    "legendre_coefficients",
+    "legendre_norm_squared",
+    "gauss_points_1d",
+    "tensor_gauss_points",
+]

@@ -1,0 +1,80 @@
+"""Exact Legendre polynomial machinery.
+
+Legendre polynomials :math:`P_n` on ``[-1, 1]`` are the 1-D building blocks of
+every modal orthonormal basis used in the paper.  All coefficients are exact
+rationals so that orthogonality relations hold *exactly* during symbolic
+integration, which in turn guarantees the exact sparsity of the DG update
+tensors.
+
+Normalization: :math:`\\int_{-1}^{1} P_m P_n \\, dx = \\frac{2}{2n+1}\\delta_{mn}`,
+so the orthonormal 1-D function is :math:`\\sqrt{(2n+1)/2}\\, P_n`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from typing import Tuple
+
+__all__ = [
+    "legendre_coefficients",
+    "legendre_norm_squared",
+    "legendre_value_at_one",
+    "eval_legendre_float",
+]
+
+
+@lru_cache(maxsize=None)
+def legendre_coefficients(n: int) -> Tuple[Fraction, ...]:
+    """Ascending monomial coefficients of :math:`P_n` (exact).
+
+    Uses the Bonnet recurrence
+    :math:`(n+1) P_{n+1} = (2n+1) x P_n - n P_{n-1}`.
+    """
+    if n < 0:
+        raise ValueError("Legendre degree must be non-negative")
+    if n == 0:
+        return (Fraction(1),)
+    if n == 1:
+        return (Fraction(0), Fraction(1))
+    pm1 = legendre_coefficients(n - 2)
+    p = legendre_coefficients(n - 1)
+    # x * P_{n-1}
+    shifted = (Fraction(0),) + p
+    out = []
+    for k in range(n + 1):
+        term = Fraction(2 * n - 1, n) * shifted[k]
+        if k < len(pm1):
+            term -= Fraction(n - 1, n) * pm1[k]
+        out.append(term)
+    return tuple(out)
+
+
+def legendre_norm_squared(n: int) -> Fraction:
+    """:math:`\\int_{-1}^{1} P_n^2 dx = 2/(2n+1)` (exact)."""
+    if n < 0:
+        raise ValueError("Legendre degree must be non-negative")
+    return Fraction(2, 2 * n + 1)
+
+
+def legendre_value_at_one(n: int, sign: int = 1) -> int:
+    """:math:`P_n(\\pm 1) = (\\pm 1)^n` — used for face restrictions."""
+    if sign not in (1, -1):
+        raise ValueError("sign must be +1 or -1")
+    return 1 if (sign == 1 or n % 2 == 0) else -1
+
+
+def eval_legendre_float(n: int, x):
+    """Evaluate :math:`P_n` at float(s) ``x`` via the stable recurrence."""
+    import numpy as np
+
+    x = np.asarray(x, dtype=float)
+    if n == 0:
+        return np.ones_like(x)
+    if n == 1:
+        return x.copy()
+    pm1 = np.ones_like(x)
+    p = x.copy()
+    for k in range(1, n):
+        pm1, p = p, ((2 * k + 1) * x * p - k * pm1) / (k + 1)
+    return p

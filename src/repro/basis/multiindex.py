@@ -1,0 +1,83 @@
+"""Multi-index sets for the three modal basis families of the paper.
+
+The paper (Fig. 2) compares three polynomial spaces on the reference cube:
+
+* **tensor** — all exponents up to ``p`` per direction,
+  :math:`N_p = (p+1)^d`;
+* **serendipity** (Arnold–Awanou / Gkeyll convention) — monomials whose
+  *superlinear degree* (the sum of the exponents that are at least 2) is at
+  most ``p``; for p=2 in d=5 this gives the 112 degrees of freedom quoted in
+  Table I;
+* **maximal-order** — total degree at most ``p``,
+  :math:`N_p = \\binom{p+d}{d}`.
+
+Each basis function is a product of 1-D Legendre polynomials
+:math:`\\prod_k P_{a_k}(\\xi_k)`; because Legendre products with different
+multi-indices are mutually orthogonal under the uniform weight, *any* subset
+of multi-indices yields an orthonormal basis after normalization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from math import comb
+from typing import List, Tuple
+
+__all__ = [
+    "FAMILIES",
+    "superlinear_degree",
+    "multi_indices",
+    "num_basis",
+]
+
+FAMILIES = ("tensor", "serendipity", "maximal-order")
+
+
+def superlinear_degree(alpha: Tuple[int, ...]) -> int:
+    """Sum of the exponents that are >= 2 (Arnold–Awanou)."""
+    return sum(a for a in alpha if a >= 2)
+
+
+def _sorted_canonical(indices: List[Tuple[int, ...]]) -> List[Tuple[int, ...]]:
+    # Canonical ordering: by total degree, then lexicographic.  Index 0 is
+    # always the constant mode, which the moment kernels rely on.
+    return sorted(indices, key=lambda a: (sum(a), a))
+
+
+def multi_indices(ndim: int, poly_order: int, family: str = "serendipity") -> List[Tuple[int, ...]]:
+    """Return the canonical multi-index list for a basis family.
+
+    Parameters
+    ----------
+    ndim:
+        Number of reference-cell variables.
+    poly_order:
+        Polynomial order ``p`` (>= 0).
+    family:
+        One of ``tensor``, ``serendipity``, ``maximal-order``.
+    """
+    if ndim < 1:
+        raise ValueError("ndim must be >= 1")
+    if poly_order < 0:
+        raise ValueError("poly_order must be >= 0")
+    if family not in FAMILIES:
+        raise ValueError(f"unknown basis family {family!r}; choose from {FAMILIES}")
+
+    full = itertools.product(range(poly_order + 1), repeat=ndim)
+    if family == "tensor":
+        selected = list(full)
+    elif family == "serendipity":
+        selected = [a for a in full if superlinear_degree(a) <= poly_order]
+    else:  # maximal-order
+        selected = [a for a in full if sum(a) <= poly_order]
+    return _sorted_canonical(selected)
+
+
+def num_basis(ndim: int, poly_order: int, family: str = "serendipity") -> int:
+    """Number of basis functions :math:`N_p` without building the list when
+    a closed form exists."""
+    if family == "tensor":
+        return (poly_order + 1) ** ndim
+    if family == "maximal-order":
+        return comb(poly_order + ndim, ndim)
+    return len(multi_indices(ndim, poly_order, family))

@@ -1,0 +1,13 @@
+"""Mini computer-algebra system: exact polynomials, integrals, and codegen."""
+
+from .codegen import compile_kernel, count_multiplications, emit_kernel_source
+from .integrate import legendre_product_integral_1d
+from .poly import Poly
+
+__all__ = [
+    "Poly",
+    "legendre_product_integral_1d",
+    "emit_kernel_source",
+    "compile_kernel",
+    "count_multiplications",
+]

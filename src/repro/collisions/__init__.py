@@ -1,0 +1,6 @@
+"""Collision operators: Dougherty/LBO Fokker–Planck and BGK."""
+
+from .bgk import BGKCollisions
+from .lbo import LBOCollisions
+
+__all__ = ["LBOCollisions", "BGKCollisions"]

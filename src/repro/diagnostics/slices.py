@@ -1,0 +1,103 @@
+"""Distribution-function slices and point evaluation (Fig. 5 visuals).
+
+The paper's physics demonstration shows 2D cuts of the electron distribution
+(y–vy and vx–vy planes).  These helpers evaluate the DG representation on
+regular sample grids of any two phase-space axes with the remaining axes
+fixed, which is exactly how continuum methods expose velocity-space
+structure that PIC counting noise would bury.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..basis.modal import ModalBasis
+from ..grid.phase import PhaseGrid
+
+__all__ = ["evaluate_points", "plane_slice"]
+
+
+def evaluate_points(
+    f: np.ndarray,
+    phase_grid: PhaseGrid,
+    basis: ModalBasis,
+    points: np.ndarray,
+) -> np.ndarray:
+    """Evaluate the DG field at arbitrary physical phase-space points.
+
+    Parameters
+    ----------
+    f:
+        Coefficients ``(Np, *cells)``.
+    points:
+        ``(npts, pdim)`` physical coordinates (must lie inside the domain).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    pdim = phase_grid.pdim
+    if points.shape[1] != pdim:
+        raise ValueError("point dimensionality mismatch")
+    full = phase_grid.conf.extend(phase_grid.vel)
+    idx = []
+    ref = np.empty_like(points)
+    for d in range(pdim):
+        dx = full.dx[d]
+        lo = full.lower[d]
+        i = np.floor((points[:, d] - lo) / dx).astype(int)
+        i = np.clip(i, 0, full.cells[d] - 1)
+        centers = lo + (i + 0.5) * dx
+        ref[:, d] = np.clip(2.0 * (points[:, d] - centers) / dx, -1.0, 1.0)
+        idx.append(i)
+    vander = basis.eval_at(ref)  # (Np, npts)
+    coeffs = f[(slice(None),) + tuple(idx)]  # (Np, npts)
+    return np.einsum("lp,lp->p", vander, coeffs)
+
+
+def plane_slice(
+    f: np.ndarray,
+    phase_grid: PhaseGrid,
+    basis: ModalBasis,
+    axes: Tuple[int, int],
+    fixed: Dict[int, float],
+    resolution: int = 64,
+) -> Dict[str, np.ndarray]:
+    """Sample ``f`` on a regular 2-D plane through phase space.
+
+    Parameters
+    ----------
+    axes:
+        The two phase-space dimensions spanning the plane
+        (0..cdim-1 = configuration, cdim..pdim-1 = velocity).
+    fixed:
+        Values of every other phase dimension (defaults to domain centers).
+
+    Returns
+    -------
+    Dict with keys ``x`` and ``y`` (1-D sample coordinates) and ``values``
+    (2-D array, indexed ``[ix, iy]``).
+    """
+    full = phase_grid.conf.extend(phase_grid.vel)
+    pdim = full.ndim
+    a0, a1 = axes
+    coords_1d = []
+    for a in (a0, a1):
+        lo, hi = full.lower[a], full.upper[a]
+        pad = (hi - lo) * 1e-9
+        coords_1d.append(np.linspace(lo + pad, hi - pad, resolution))
+    g0, g1 = np.meshgrid(coords_1d[0], coords_1d[1], indexing="ij")
+    pts = np.empty((resolution * resolution, pdim))
+    for d in range(pdim):
+        if d == a0:
+            pts[:, d] = g0.ravel()
+        elif d == a1:
+            pts[:, d] = g1.ravel()
+        else:
+            default = 0.5 * (full.lower[d] + full.upper[d])
+            pts[:, d] = fixed.get(d, default)
+    vals = evaluate_points(f, phase_grid, basis, pts)
+    return {
+        "x": coords_1d[0],
+        "y": coords_1d[1],
+        "values": vals.reshape(resolution, resolution),
+    }

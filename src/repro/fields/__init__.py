@@ -1,0 +1,5 @@
+"""Field equation solvers (Maxwell, Poisson)."""
+
+from .maxwell import COMPONENT_NAMES, MaxwellSolver
+
+__all__ = ["MaxwellSolver", "COMPONENT_NAMES"]

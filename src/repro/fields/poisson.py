@@ -1,0 +1,74 @@
+"""Exact 1-D DG electrostatic solve (Vlasov–Poisson substrate).
+
+In one configuration dimension Gauss's law ``dE/dx = rho/eps0`` determines
+``E`` up to a constant, fixed here by a zero domain mean (periodic domain,
+neutral plasma).  Because the DG charge density is piecewise polynomial, the
+antiderivative is computed *exactly* cell by cell via Legendre antiderivative
+recurrences and projected back onto the modal basis — no linear solve, no
+quadrature, in the same spirit as the rest of the scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..basis.modal import ModalBasis
+from ..grid.cartesian import Grid
+
+__all__ = ["Poisson1D"]
+
+
+class Poisson1D:
+    """Zero-mean periodic electrostatic field from the charge density."""
+
+    def __init__(self, grid: Grid, basis: ModalBasis, epsilon0: float = 1.0):
+        if grid.ndim != 1 or basis.ndim != 1:
+            raise ValueError("Poisson1D requires a 1-D configuration space")
+        self.grid = grid
+        self.basis = basis
+        self.epsilon0 = float(epsilon0)
+        p = basis.poly_order
+        self._norms = np.array([basis.norm(l) for l in range(p + 1)])
+
+    def solve(self, rho: np.ndarray, neutral_tol: float = 1e-8) -> np.ndarray:
+        """Return modal coefficients of ``E_x`` with zero domain mean.
+
+        Parameters
+        ----------
+        rho:
+            Charge density coefficients ``(Npc, nx)``.
+        neutral_tol:
+            Absolute net-charge guard.  Periodicity requires a neutral
+            domain; roundoff-level residuals are redistributed uniformly,
+            anything larger raises.
+        """
+        npc, nx = rho.shape
+        dx = self.grid.dx[0]
+        # Legendre series of rho per cell: c_n = rho_n * norm_n
+        c = rho * self._norms[:, None]
+        # antiderivative in the reference coordinate: B = legint(c)
+        b = np.polynomial.legendre.legint(c, axis=0)  # (npc+1, nx)
+        ones = np.polynomial.legendre.legval(1.0, b, tensor=True)
+        mones = np.polynomial.legendre.legval(-1.0, b, tensor=True)
+        cell_charge = 0.5 * dx * (ones - mones)  # int_cell rho dx
+        total = float(cell_charge.sum())
+        if abs(total) > neutral_tol:
+            raise ValueError(
+                f"periodic Poisson solve requires a neutral domain; net charge "
+                f"{total:.3e} exceeds {neutral_tol:.1e}"
+            )
+        cell_charge = cell_charge - total / nx  # redistribute roundoff
+        # left-edge field values: cumulative charge / eps0
+        e_edge = np.concatenate([[0.0], np.cumsum(cell_charge)[:-1]]) / self.epsilon0
+        # in-cell field as a Legendre series:
+        # E(xi) = e_edge + (dx/2)(B(xi) - B(-1)) / eps0
+        series = 0.5 * dx * b / self.epsilon0
+        series[0] += e_edge - 0.5 * dx * mones / self.epsilon0
+        # project onto the orthonormal modal basis:  E_l = g_l / norm_l
+        e_modal = np.zeros_like(rho)
+        for l in range(npc):
+            e_modal[l] = series[l] / self._norms[l]
+        # enforce zero domain mean through the constant mode
+        mean = e_modal[0].mean()
+        e_modal[0] -= mean
+        return e_modal

@@ -1,0 +1,6 @@
+"""Structured Cartesian phase-space grids."""
+
+from .cartesian import Grid
+from .phase import PhaseGrid
+
+__all__ = ["Grid", "PhaseGrid"]

@@ -1,0 +1,17 @@
+"""Checkpoint/restart I/O."""
+
+from .checkpoint import (
+    checkpoint_roundtrip_equal,
+    load_checkpoint,
+    restore_app,
+    save_app,
+    save_checkpoint,
+)
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "save_app",
+    "restore_app",
+    "checkpoint_roundtrip_equal",
+]

@@ -1,0 +1,71 @@
+"""Checkpoint/restart I/O (the ADIOS role in Gkeyll, via ``.npz``).
+
+A kinetic checkpoint is the full set of species distribution functions plus
+the EM field state and the simulation clock.  Files are self-describing:
+array names mirror the App state keys, and scalar metadata is stored under a
+``meta/`` prefix.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_roundtrip_equal"]
+
+PathLike = Union[str, Path]
+
+
+def save_checkpoint(path: PathLike, state: Dict[str, np.ndarray], meta: Dict) -> None:
+    """Write a checkpoint; ``meta`` must be JSON-serializable."""
+    path = Path(path)
+    payload = {f"state/{k}".replace("/", "__"): v for k, v in state.items()}
+    payload["meta_json"] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+
+
+def load_checkpoint(path: PathLike):
+    """Read back ``(state, meta)`` from :func:`save_checkpoint`."""
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode())
+        state = {}
+        for key in data.files:
+            if key == "meta_json":
+                continue
+            name = key[len("state__"):].replace("__", "/")
+            state[name] = data[key]
+    return state, meta
+
+
+def checkpoint_roundtrip_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray]) -> bool:
+    if set(a) != set(b):
+        return False
+    return all(np.array_equal(a[k], b[k]) for k in a)
+
+
+def save_app(path: PathLike, app) -> None:
+    """Checkpoint a :class:`~repro.apps.vlasov_maxwell.VlasovMaxwellApp`."""
+    meta = {
+        "time": app.time,
+        "step_count": app.step_count,
+        "poly_order": app.poly_order,
+        "family": app.family,
+        "scheme": app.scheme,
+        "species": [s.name for s in app.species],
+    }
+    save_checkpoint(path, app.state(), meta)
+
+
+def restore_app(path: PathLike, app) -> Dict:
+    """Restore App state in place; returns the checkpoint metadata."""
+    state, meta = load_checkpoint(path)
+    app.set_state({k: np.array(v) for k, v in state.items()})
+    app.time = float(meta["time"])
+    app.step_count = int(meta["step_count"])
+    return meta

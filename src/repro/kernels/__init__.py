@@ -1,0 +1,35 @@
+"""CAS-generated, alias-free, matrix-free, quadrature-free DG kernels."""
+
+from .flops import compare_costs, modal_update_multiplications, nodal_update_multiplications
+from .generator import (
+    FluxSpec,
+    FluxTerm,
+    generate_moment_termset,
+    generate_multiply_termset,
+    generate_surface_termsets,
+    generate_volume_termset,
+)
+from .registry import clear_registry, get_vlasov_kernels, registry_stats
+from .termset import Term, TermSet
+from .vlasov import VlasovKernels, acceleration_flux, build_vlasov_kernels, streaming_flux
+
+__all__ = [
+    "TermSet",
+    "Term",
+    "FluxSpec",
+    "FluxTerm",
+    "generate_volume_termset",
+    "generate_surface_termsets",
+    "generate_moment_termset",
+    "generate_multiply_termset",
+    "VlasovKernels",
+    "build_vlasov_kernels",
+    "streaming_flux",
+    "acceleration_flux",
+    "get_vlasov_kernels",
+    "clear_registry",
+    "registry_stats",
+    "compare_costs",
+    "modal_update_multiplications",
+    "nodal_update_multiplications",
+]

@@ -1,0 +1,255 @@
+"""CAS-driven generation of DG volume, surface, and moment kernels.
+
+This module performs the role of the Maxima scripts in Gkeyll: it evaluates
+every weak-form integral *analytically* (exact rational arithmetic via
+:mod:`repro.cas`), detects exact zeros, and packages the surviving entries
+into sparse :class:`~repro.kernels.termset.TermSet` kernels.  No quadrature
+is performed and no mass matrix is ever built: the modal orthonormal basis
+makes the mass matrix the identity.
+
+The phase-space flux in direction ``dim`` is described by a
+:class:`FluxSpec`: a sum of terms, each a product of a *runtime symbol*
+(cell size, cell-center velocity, modal field coefficient, ...), an exact
+polynomial in the reference coordinates, and a float scale (normalization of
+the field basis function, signs from the cross product).  Because the Vlasov
+flux :math:`\\alpha = (v, (q/m)(E + v \\times B))` is polynomial in phase
+space, this description is exact and the resulting scheme is alias-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from ..basis.legendre import legendre_value_at_one
+from ..basis.modal import ModalBasis
+from ..cas.integrate import legendre_product_integral_1d
+from ..cas.poly import Poly
+from .termset import Symbol, TermSet
+
+__all__ = [
+    "FluxTerm",
+    "FluxSpec",
+    "generate_volume_termset",
+    "generate_surface_termsets",
+    "generate_moment_termset",
+    "generate_multiply_termset",
+]
+
+
+@dataclass(frozen=True)
+class FluxTerm:
+    """One additive contribution ``scale * prod(aux[sym]) * poly(xi)``."""
+
+    sym: Symbol
+    poly: Poly
+    scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class FluxSpec:
+    """The phase-space flux component along phase dimension ``dim``."""
+
+    dim: int
+    terms: Tuple[FluxTerm, ...]
+
+
+def _pair_integral(
+    alpha_m: Tuple[int, ...],
+    alpha_l: Tuple[int, ...],
+    deriv_dim: int,
+    q_expo: Tuple[int, ...],
+) -> Fraction:
+    """Exact ``int prod_k xi_k^{r_k} P_{a_m,k} D^{[k==deriv]} P_{a_l,k}``."""
+    val = Fraction(1)
+    for k, (am, al) in enumerate(zip(alpha_m, alpha_l)):
+        fac = legendre_product_integral_1d(
+            (am, al), (False, k == deriv_dim), q_expo[k]
+        )
+        if fac == 0:
+            return Fraction(0)
+        val *= fac
+    return val
+
+
+def generate_volume_termset(basis: ModalBasis, flux: FluxSpec) -> TermSet:
+    """Volume kernel for one flux direction.
+
+    Produces the exact contraction
+    ``out[l] += rdx_dim * sum_s aux_s * sum_m K_s[l, m] f[m]`` with
+    ``K_s[l, m] = int Q_s w_m (d w_l / d xi_dim) dxi``.
+    """
+    np_ = basis.num_basis
+    d = flux.dim
+    entries: Dict[Symbol, List[Tuple[int, int, float]]] = {}
+    norms = [basis.norm(i) for i in range(np_)]
+    rdx = f"rdx{d}"
+    for term in flux.terms:
+        sym = (rdx,) + term.sym
+        bucket = entries.setdefault(sym, [])
+        monos = list(term.poly.coeffs.items())
+        for l in range(np_):
+            if basis.indices[l][d] == 0:
+                continue  # derivative of a constant mode vanishes
+            al = basis.indices[l]
+            for m in range(np_):
+                am = basis.indices[m]
+                total = Fraction(0)
+                for expo, c in monos:
+                    total += c * _pair_integral(am, al, d, expo)
+                if total != 0:
+                    bucket.append((l, m, float(total) * norms[l] * norms[m] * term.scale))
+    return TermSet(np_, np_, entries)
+
+
+def generate_surface_termsets(
+    basis: ModalBasis, flux: FluxSpec
+) -> Dict[Tuple[str, str], TermSet]:
+    """Surface kernels for the face between a left and a right cell.
+
+    Returns four :class:`TermSet` objects keyed by
+    ``(test_side, state_side)`` with sides in ``{"L", "R"}``.  The sign
+    convention folds the outward normals in: accumulating
+
+    ``out_L += rdx * sum_s weight_s * K[("L", s)] f_s`` and
+    ``out_R += rdx * sum_s weight_s * K[("R", s)] f_s``
+
+    with the runtime choosing upwind/central weights reproduces the weak-form
+    surface integral exactly.  The flux polynomial is restricted to the face
+    by substituting ``xi_dim = +-1`` on the *state* side.
+    """
+    np_ = basis.num_basis
+    d = flux.dim
+    norms = [basis.norm(i) for i in range(np_)]
+    rdx = f"rdx{d}"
+    out: Dict[Tuple[str, str], TermSet] = {}
+    for test_side, test_sign, global_sign in (("L", 1, -1.0), ("R", -1, 1.0)):
+        for state_side, state_sign in (("L", 1), ("R", -1)):
+            entries: Dict[Symbol, List[Tuple[int, int, float]]] = {}
+            for term in flux.terms:
+                sym = (rdx,) + term.sym
+                bucket = entries.setdefault(sym, [])
+                monos = list(term.poly.coeffs.items())
+                for l in range(np_):
+                    al = basis.indices[l]
+                    pl = legendre_value_at_one(al[d], test_sign)
+                    for m in range(np_):
+                        am = basis.indices[m]
+                        pm = legendre_value_at_one(am[d], state_sign)
+                        total = Fraction(0)
+                        for expo, c in monos:
+                            # xi_dim factor of the flux polynomial at the face
+                            face_fac = c * (state_sign ** expo[d])
+                            val = Fraction(1)
+                            for k in range(basis.ndim):
+                                if k == d:
+                                    continue
+                                fac = legendre_product_integral_1d(
+                                    (am[k], al[k]), (False, False), expo[k]
+                                )
+                                if fac == 0:
+                                    val = Fraction(0)
+                                    break
+                                val *= fac
+                            total += face_fac * val
+                        if total != 0:
+                            bucket.append(
+                                (
+                                    l,
+                                    m,
+                                    float(total)
+                                    * pl
+                                    * pm
+                                    * norms[l]
+                                    * norms[m]
+                                    * term.scale
+                                    * global_sign,
+                                )
+                            )
+            out[(test_side, state_side)] = TermSet(np_, np_, entries)
+    return out
+
+
+def generate_moment_termset(
+    phase_basis: ModalBasis,
+    cfg_basis: ModalBasis,
+    cdim: int,
+    weight_terms: Sequence[FluxTerm],
+) -> TermSet:
+    """Velocity-moment kernel mapping phase coefficients to configuration
+    coefficients.
+
+    For a moment weight ``g(v) = sum_s aux_s * Q_s(xi_v)`` (e.g. 1, ``v_d``,
+    ``|v|^2`` expressed in cell-local form), the kernel computes the exact
+    reference-cell integral
+
+    ``W_s[k, m] = int phi_k(xi_cfg) Q_s(xi) w_m(xi) dxi``
+
+    so that the physical moment is
+    ``M_k(cfg cell) = sum_{v cells} vjac * sum_s aux_s (W_s f)[k]`` with
+    ``vjac = prod_j dv_j / 2``.
+    """
+    np_ = phase_basis.num_basis
+    npc = cfg_basis.num_basis
+    pdim = phase_basis.ndim
+    norms_p = [phase_basis.norm(i) for i in range(np_)]
+    norms_c = [cfg_basis.norm(i) for i in range(npc)]
+    entries: Dict[Symbol, List[Tuple[int, int, float]]] = {}
+    for term in weight_terms:
+        sym = ("vjac",) + term.sym
+        bucket = entries.setdefault(sym, [])
+        monos = list(term.poly.coeffs.items())
+        for k in range(npc):
+            ak = cfg_basis.indices[k]
+            for m in range(np_):
+                am = phase_basis.indices[m]
+                total = Fraction(0)
+                for expo, c in monos:
+                    val = Fraction(1)
+                    for j in range(pdim):
+                        if j < cdim:
+                            fac = legendre_product_integral_1d(
+                                (am[j], ak[j]), (False, False), expo[j]
+                            )
+                        else:
+                            fac = legendre_product_integral_1d(
+                                (am[j],), (False,), expo[j]
+                            )
+                        if fac == 0:
+                            val = Fraction(0)
+                            break
+                        val *= fac
+                    total += c * val
+                if total != 0:
+                    bucket.append((k, m, float(total) * norms_c[k] * norms_p[m] * term.scale))
+    return TermSet(npc, np_, entries)
+
+
+def generate_multiply_termset(
+    basis: ModalBasis, multiplier_terms: Sequence[FluxTerm]
+) -> TermSet:
+    """Weak (exactly projected) multiplication kernel.
+
+    Computes the modal coefficients of the L2 projection of
+    ``(sum_s aux_s Q_s(xi)) * f`` onto the basis:
+    ``out[l] += sum_s aux_s sum_m (int Q_s w_m w_l) f[m]``.
+    Used e.g. to multiply by a configuration-space thermal-speed field in the
+    LBO collision operator without introducing aliasing.
+    """
+    np_ = basis.num_basis
+    norms = [basis.norm(i) for i in range(np_)]
+    entries: Dict[Symbol, List[Tuple[int, int, float]]] = {}
+    for term in multiplier_terms:
+        bucket = entries.setdefault(term.sym, [])
+        monos = list(term.poly.coeffs.items())
+        for l in range(np_):
+            al = basis.indices[l]
+            for m in range(np_):
+                am = basis.indices[m]
+                total = Fraction(0)
+                for expo, c in monos:
+                    total += c * _pair_integral(am, al, -1, expo)
+                if total != 0:
+                    bucket.append((l, m, float(total) * norms[l] * norms[m] * term.scale))
+    return TermSet(np_, np_, entries)

@@ -1,0 +1,50 @@
+"""Process-wide cache of generated kernel bundles.
+
+Kernel generation (exact symbolic integration) is a one-time cost per
+``(cdim, vdim, poly_order, family)`` combination — the analogue of Gkeyll
+pre-generating its C++ kernels with Maxima.  The registry memoizes bundles
+so solvers, tests, and benchmarks share them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+from .vlasov import VlasovKernels, build_vlasov_kernels
+
+__all__ = ["get_vlasov_kernels", "clear_registry", "registry_stats"]
+
+_LOCK = threading.Lock()
+_CACHE: Dict[Tuple[int, int, int, str], VlasovKernels] = {}
+
+
+def get_vlasov_kernels(
+    cdim: int, vdim: int, poly_order: int, family: str = "serendipity"
+) -> VlasovKernels:
+    """Fetch (generating on first use) the Vlasov kernel bundle."""
+    key = (int(cdim), int(vdim), int(poly_order), str(family))
+    with _LOCK:
+        bundle = _CACHE.get(key)
+    if bundle is not None:
+        return bundle
+    bundle = build_vlasov_kernels(*key)
+    with _LOCK:
+        _CACHE.setdefault(key, bundle)
+    return _CACHE[key]
+
+
+def clear_registry() -> None:
+    with _LOCK:
+        _CACHE.clear()
+
+
+def registry_stats() -> Dict[str, int]:
+    with _LOCK:
+        return {
+            "bundles": len(_CACHE),
+            "total_nnz": sum(
+                sum(ts.num_entries for ts in b.all_update_termsets())
+                for b in _CACHE.values()
+            ),
+        }

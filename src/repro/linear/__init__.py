@@ -1,0 +1,25 @@
+"""Linear kinetic theory (dispersion relations, validation targets)."""
+
+from .dispersion import (
+    MaxwellianSpecies,
+    electrostatic_dielectric,
+    filamentation_growth_rate,
+    landau_damping_rate,
+    plasma_z,
+    plasma_z_deriv,
+    solve_dispersion,
+    transverse_dielectric,
+    two_stream_growth_rate,
+)
+
+__all__ = [
+    "plasma_z",
+    "plasma_z_deriv",
+    "MaxwellianSpecies",
+    "electrostatic_dielectric",
+    "transverse_dielectric",
+    "solve_dispersion",
+    "landau_damping_rate",
+    "two_stream_growth_rate",
+    "filamentation_growth_rate",
+]

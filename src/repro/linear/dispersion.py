@@ -1,0 +1,156 @@
+"""Linear kinetic theory: plasma dispersion function and instability rates.
+
+Provides the quantitative targets used to validate the physics runs:
+
+* the plasma dispersion function :math:`Z(\\zeta) = i\\sqrt{\\pi}\\,
+  w(\\zeta)` (Faddeeva function) and its derivative;
+* the electrostatic dielectric for a sum of drifting Maxwellians — roots
+  give Landau damping and two-stream growth rates;
+* the transverse (electromagnetic) dielectric for beams drifting
+  perpendicular to **k** — roots give Weibel/filamentation growth rates,
+  the linear stage of the paper's Fig. 5 counter-streaming setup.
+
+Conventions: Maxwellians ``f_s ~ exp(-(v-u_s)^2 / (2 vt_s^2))``,
+:math:`\\zeta_s = (\\omega/k - u_s)/(\\sqrt{2} vt_s)`, frequencies normalized
+to the species plasma frequencies ``wp_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import root
+from scipy.special import wofz
+
+__all__ = [
+    "plasma_z",
+    "plasma_z_deriv",
+    "MaxwellianSpecies",
+    "electrostatic_dielectric",
+    "solve_dispersion",
+    "landau_damping_rate",
+    "two_stream_growth_rate",
+    "transverse_dielectric",
+    "filamentation_growth_rate",
+]
+
+
+def plasma_z(zeta: complex) -> complex:
+    """Plasma dispersion function ``Z`` (analytic continuation included)."""
+    return 1j * np.sqrt(np.pi) * wofz(zeta)
+
+
+def plasma_z_deriv(zeta: complex) -> complex:
+    """``Z'(zeta) = -2 (1 + zeta Z(zeta))``."""
+    return -2.0 * (1.0 + zeta * plasma_z(zeta))
+
+
+@dataclass(frozen=True)
+class MaxwellianSpecies:
+    """Drifting Maxwellian for dispersion calculations.
+
+    ``wp``: plasma frequency; ``vt``: thermal speed; ``drift``: drift along
+    the relevant axis (k-parallel for electrostatic, k-perpendicular for the
+    transverse/filamentation branch).
+    """
+
+    wp: float
+    vt: float
+    drift: float = 0.0
+
+
+def electrostatic_dielectric(
+    omega: complex, k: float, species: Sequence[MaxwellianSpecies]
+) -> complex:
+    """Longitudinal dielectric
+    :math:`\\epsilon = 1 - \\sum_s \\frac{\\omega_{ps}^2}{2 k^2 v_{ts}^2}
+    Z'(\\zeta_s)`."""
+    eps = 1.0 + 0j
+    for s in species:
+        zeta = (omega / k - s.drift) / (np.sqrt(2.0) * s.vt)
+        eps -= s.wp ** 2 / (2.0 * k ** 2 * s.vt ** 2) * plasma_z_deriv(zeta)
+    return eps
+
+
+def transverse_dielectric(
+    omega: complex, k: float, species: Sequence[MaxwellianSpecies], c: float = 1.0
+) -> complex:
+    """Transverse dispersion function for drifts perpendicular to **k**:
+
+    :math:`D = \\omega^2 - k^2 c^2 - \\sum_s \\omega_{ps}^2
+    \\big[1 + \\tfrac{u_s^2 + v_{ts}^2}{2 v_{ts}^2} Z'(\\zeta_s)\\big]`,
+    with :math:`\\zeta_s = \\omega/(\\sqrt{2} k v_{ts})`.
+
+    In the cold limit this reduces to the classic filamentation relation
+    :math:`\\gamma^2 = \\omega_p^2 u^2 k^2 / (k^2 c^2 + \\omega_p^2)`.
+    """
+    d = omega ** 2 - (k * c) ** 2 + 0j
+    for s in species:
+        zeta = omega / (np.sqrt(2.0) * k * s.vt)
+        mean_sq = s.drift ** 2 + s.vt ** 2
+        d -= s.wp ** 2 * (1.0 + mean_sq / (2.0 * s.vt ** 2) * plasma_z_deriv(zeta))
+    return d
+
+
+def solve_dispersion(
+    func, k: float, species: Sequence[MaxwellianSpecies], guess: complex, **kwargs
+) -> complex:
+    """Newton/hybrid root of a complex dispersion function ``func(omega, k, species)``."""
+
+    def wrapped(xy):
+        val = func(complex(xy[0], xy[1]), k, species, **kwargs)
+        return [val.real, val.imag]
+
+    sol = root(wrapped, [guess.real, guess.imag], tol=1e-12)
+    if not sol.success:
+        raise RuntimeError(f"dispersion root find failed: {sol.message}")
+    return complex(sol.x[0], sol.x[1])
+
+
+def landau_damping_rate(k: float, vt: float = 1.0, wp: float = 1.0) -> complex:
+    """Least-damped Langmuir root for a single Maxwellian.
+
+    Returns complex omega; ``omega.imag < 0`` is the Landau damping rate.
+    For ``k lambda_D = 0.5`` the classic value is
+    ``omega ~ 1.4156 - 0.1533 i`` (in units of wp, vt=1).
+    """
+    sp = [MaxwellianSpecies(wp=wp, vt=vt)]
+    guess = complex(np.sqrt(wp ** 2 + 3.0 * (k * vt) ** 2), -0.01)
+    return solve_dispersion(electrostatic_dielectric, k, sp, guess)
+
+
+def two_stream_growth_rate(
+    k: float, drift: float, vt: float, wp_each: float = None
+) -> complex:
+    """Most-unstable root for symmetric counter-streaming electron beams.
+
+    Each beam carries half the density; ``wp_each`` defaults to
+    ``1/sqrt(2)`` so the total plasma frequency is 1.
+    """
+    wp = wp_each if wp_each is not None else 1.0 / np.sqrt(2.0)
+    sp = [
+        MaxwellianSpecies(wp=wp, vt=vt, drift=+drift),
+        MaxwellianSpecies(wp=wp, vt=vt, drift=-drift),
+    ]
+    # cold-beam estimate as the initial guess: pure growth near
+    # gamma ~ wp/2 for k u ~ wp sqrt(3)/2... start slightly off-axis.
+    guess = complex(1e-3, 0.4 * np.sqrt(2.0) * wp)
+    return solve_dispersion(electrostatic_dielectric, k, sp, guess)
+
+
+def filamentation_growth_rate(
+    k: float, drift: float, vt: float, wp_total: float = 1.0, c: float = 1.0
+) -> complex:
+    """Most-unstable transverse (Weibel/filamentation) root for symmetric
+    counter-streaming beams with **k** perpendicular to the drifts."""
+    wp = wp_total / np.sqrt(2.0)
+    sp = [
+        MaxwellianSpecies(wp=wp, vt=vt, drift=+drift),
+        MaxwellianSpecies(wp=wp, vt=vt, drift=-drift),
+    ]
+    cold = wp_total * drift * k / np.sqrt((k * c) ** 2 + wp_total ** 2)
+    guess = complex(0.0, max(cold, 1e-3))
+    omega = solve_dispersion(transverse_dielectric, k, sp, guess, c=c)
+    return omega

@@ -1,0 +1,5 @@
+"""Velocity moments and field-coupling quantities."""
+
+from .calc import MomentCalculator, integrate_conf_field
+
+__all__ = ["MomentCalculator", "integrate_conf_field"]

@@ -1,0 +1,84 @@
+"""Weak (modal, alias-free) binary operations on DG fields.
+
+Computing flow velocity ``u = M1/M0`` or thermal speed from moments requires
+*dividing* DG fields.  Pointwise division at nodes would reintroduce exactly
+the aliasing the scheme eliminates, so — following Gkeyll — division is done
+weakly: find ``u`` such that the L2 projection of ``M0 * u`` equals ``M1``.
+With the exact triple-product tensor
+:math:`T_{lmk} = \\int \\phi_l \\phi_m \\phi_k d\\xi`
+this is a small dense solve per cell; multiplication is the corresponding
+contraction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+import numpy as np
+
+from ..basis.modal import ModalBasis
+from ..cas.integrate import legendre_product_integral_1d
+
+__all__ = ["triple_product_tensor", "weak_multiply", "weak_divide"]
+
+
+@lru_cache(maxsize=None)
+def _triple_product_cached(
+    ndim: int, poly_order: int, family: str
+) -> np.ndarray:
+    basis = ModalBasis(ndim, poly_order, family)
+    n = basis.num_basis
+    out = np.zeros((n, n, n))
+    for l in range(n):
+        al = basis.indices[l]
+        for m in range(l, n):
+            am = basis.indices[m]
+            for k in range(n):
+                ak = basis.indices[k]
+                val = Fraction(1)
+                for d in range(ndim):
+                    fac = legendre_product_integral_1d(
+                        (al[d], am[d], ak[d]), (False, False, False), 0
+                    )
+                    if fac == 0:
+                        val = Fraction(0)
+                        break
+                    val *= fac
+                if val != 0:
+                    entry = (
+                        float(val) * basis.norm(l) * basis.norm(m) * basis.norm(k)
+                    )
+                    out[l, m, k] = entry
+                    out[m, l, k] = entry
+    return out
+
+
+def triple_product_tensor(basis: ModalBasis) -> np.ndarray:
+    """Exact :math:`T_{lmk} = \\int w_l w_m w_k d\\xi` (memoized)."""
+    return _triple_product_cached(basis.ndim, basis.poly_order, basis.family)
+
+
+def weak_multiply(a: np.ndarray, b: np.ndarray, basis: ModalBasis) -> np.ndarray:
+    """Modal coefficients of the L2 projection of ``a * b``.
+
+    ``a``, ``b``: coefficient arrays ``(Np, *cells)``.
+    """
+    t = triple_product_tensor(basis)
+    return np.einsum("lmk,m...,k...->l...", t, a, b)
+
+
+def weak_divide(num: np.ndarray, den: np.ndarray, basis: ModalBasis) -> np.ndarray:
+    """Weak division: solve ``Proj(den * u) = num`` for ``u`` cell by cell.
+
+    Raises ``numpy.linalg.LinAlgError`` if the denominator is (numerically)
+    singular in some cell — e.g. a vanishing density.
+    """
+    t = triple_product_tensor(basis)
+    n = basis.num_basis
+    cells = num.shape[1:]
+    # A[l, m] = sum_k T_{lmk} den_k  per cell
+    a = np.einsum("lmk,k...->lm...", t, den)
+    a = np.moveaxis(a.reshape(n, n, -1), -1, 0)       # (ncells, n, n)
+    rhs = np.moveaxis(num.reshape(n, -1), -1, 0)[..., None]  # (ncells, n, 1)
+    sol = np.linalg.solve(a, rhs)[..., 0]             # (ncells, n)
+    return np.moveaxis(sol, 0, -1).reshape((n,) + cells)

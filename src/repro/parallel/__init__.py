@@ -1,0 +1,28 @@
+"""Two-level (simulated) MPI decomposition and scaling model."""
+
+from .comm import SimulatedComm
+from .decomp import (
+    ConfDecomposition,
+    TwoLevelDecomposition,
+    VelocitySlabs,
+    block_ranges,
+    factor_ranks,
+    memory_report,
+)
+from .runner import DecomposedVlasovRunner
+from .scaling import ClusterModel, ProblemSpec, strong_scaling_series, weak_scaling_series
+
+__all__ = [
+    "SimulatedComm",
+    "ConfDecomposition",
+    "VelocitySlabs",
+    "TwoLevelDecomposition",
+    "block_ranges",
+    "factor_ranks",
+    "memory_report",
+    "DecomposedVlasovRunner",
+    "ClusterModel",
+    "ProblemSpec",
+    "weak_scaling_series",
+    "strong_scaling_series",
+]

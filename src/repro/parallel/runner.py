@@ -1,0 +1,248 @@
+"""Decomposed execution of the modal Vlasov RHS (correctness harness).
+
+Runs the kernel update the way the paper's two-level MPI decomposition does:
+
+* each **node** owns a configuration-space block padded by one ghost layer
+  per decomposed axis, filled by periodic halo exchange through the
+  :class:`~repro.parallel.comm.SimulatedComm` (byte-counted);
+* each **core** of a node computes a velocity-space slab, reading its
+  neighbours' cells directly from the node's shared array — no intra-node
+  ghost copies, exactly the MPI-3 shared-memory strategy of Sec. IV.
+
+The decomposed result must equal the serial
+:class:`~repro.vlasov.modal_solver.VlasovModalSolver` RHS to machine
+precision (tested bitwise-tolerant), which validates the decomposition logic
+that the Fig. 3 scaling model builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..vlasov.modal_solver import VlasovModalSolver, _axis_slice
+from .comm import SimulatedComm
+from .decomp import TwoLevelDecomposition, block_ranges
+
+__all__ = ["DecomposedVlasovRunner"]
+
+
+class DecomposedVlasovRunner:
+    """Evaluate a Vlasov RHS under a nodes x cores decomposition."""
+
+    def __init__(
+        self,
+        solver: VlasovModalSolver,
+        nodes: int,
+        cores_per_node: int = 1,
+        vel_axis: int = -1,
+    ):
+        self.solver = solver
+        g = solver.grid
+        self.decomp = TwoLevelDecomposition.create(
+            g.conf.cells, g.vel.cells, nodes, cores_per_node, vel_axis
+        )
+        self.comm = SimulatedComm(nodes)
+        self.nodes = nodes
+        self.cores = cores_per_node
+        self._vel_axis = self.decomp.vel.axis  # velocity-grid axis index
+
+    # ------------------------------------------------------------------ #
+    def rhs(self, f: np.ndarray, em: np.ndarray) -> np.ndarray:
+        """Distributed evaluation; returns the assembled global RHS."""
+        solver = self.solver
+        g = solver.grid
+        cdim = g.cdim
+        conf = self.decomp.conf
+        pad = [1 if conf.dims[d] > 1 else 0 for d in range(cdim)]
+
+        # ---- scatter: local padded blocks per node ----------------------
+        locals_: List[np.ndarray] = []
+        ranges: List[List[Tuple[int, int]]] = []
+        for rank in range(self.nodes):
+            rng = conf.local_ranges(rank)
+            ranges.append(rng)
+            sl = tuple(
+                [slice(None)]
+                + [slice(lo, hi) for lo, hi in rng]
+                + [slice(None)] * g.vdim
+            )
+            block = f[sl]
+            pad_width = (
+                [(0, 0)]
+                + [(pad[d], pad[d]) for d in range(cdim)]
+                + [(0, 0)] * g.vdim
+            )
+            locals_.append(np.pad(block, pad_width))
+
+        # ---- halo exchange (periodic) -----------------------------------
+        for d in range(cdim):
+            if not pad[d]:
+                continue
+            axis = 1 + d
+            for rank in range(self.nodes):
+                arr = locals_[rank]
+                n = arr.shape[axis]
+                interior_lo = _axis_slice(arr.ndim, axis, slice(1, 2))
+                interior_hi = _axis_slice(arr.ndim, axis, slice(n - 2, n - 1))
+                self.comm.send(rank, conf.neighbor(rank, d, -1), arr[interior_lo], tag=2 * d)
+                self.comm.send(rank, conf.neighbor(rank, d, +1), arr[interior_hi], tag=2 * d + 1)
+            for rank in range(self.nodes):
+                arr = locals_[rank]
+                n = arr.shape[axis]
+                ghost_lo = _axis_slice(arr.ndim, axis, slice(0, 1))
+                ghost_hi = _axis_slice(arr.ndim, axis, slice(n - 1, n))
+                arr[ghost_hi] = self.comm.recv(conf.neighbor(rank, d, +1), rank, tag=2 * d)
+                arr[ghost_lo] = self.comm.recv(conf.neighbor(rank, d, -1), rank, tag=2 * d + 1)
+
+        # ---- compute: per node, per core slab ---------------------------
+        out = np.zeros_like(f)
+        vax = self._vel_axis
+        nvel = g.vel.cells[vax]
+        slabs = block_ranges(nvel, self.cores)
+        for rank in range(self.nodes):
+            rng = ranges[rank]
+            em_sl = tuple([slice(None), slice(None)] + [slice(lo, hi) for lo, hi in rng])
+            em_loc = np.ascontiguousarray(em[em_sl])
+            for (lo, hi) in slabs:
+                ext_lo = max(lo - 1, 0)
+                ext_hi = min(hi + 1, nvel)
+                win_sl = _axis_slice(
+                    f.ndim, 1 + cdim + vax, slice(ext_lo, ext_hi)
+                )
+                f_win = locals_[rank][win_sl]
+                rhs_ext = self._local_rhs(f_win, em_loc, pad, rng, (ext_lo, ext_hi))
+                keep = _axis_slice(
+                    rhs_ext.ndim, 1 + cdim + vax, slice(lo - ext_lo, hi - ext_lo)
+                )
+                out_sl = tuple(
+                    [slice(None)]
+                    + [slice(r0, r1) for r0, r1 in rng]
+                    + [
+                        slice(lo, hi) if d == vax else slice(None)
+                        for d in range(g.vdim)
+                    ]
+                )
+                out[out_sl] = rhs_ext[keep]
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _window_aux(self, em_loc: np.ndarray, window: Tuple[int, int]):
+        """Solver aux dict restricted to the velocity window (shared-memory
+        view of the slab plus its neighbour cells)."""
+        solver = self.solver
+        g = solver.grid
+        aux: Dict[str, object] = {}
+        vax_cell_axis = g.cdim + self._vel_axis
+        lo, hi = window
+        for name, val in solver._base_aux.items():
+            if isinstance(val, np.ndarray) and val.ndim == g.pdim and val.shape[vax_cell_axis] > 1:
+                aux[name] = val[_axis_slice(val.ndim, vax_cell_axis, slice(lo, hi))]
+            else:
+                aux[name] = val
+        npc = solver.num_conf_basis
+        for comp in range(3):
+            for k in range(npc):
+                aux[f"E{comp}_{k}"] = em_loc[comp, k].reshape(
+                    em_loc.shape[2:] + (1,) * g.vdim
+                )
+                aux[f"B{comp}_{k}"] = em_loc[3 + comp, k].reshape(
+                    em_loc.shape[2:] + (1,) * g.vdim
+                )
+        return aux
+
+    def _local_rhs(
+        self,
+        f_loc: np.ndarray,
+        em_loc: np.ndarray,
+        pad: List[int],
+        rng: List[Tuple[int, int]],
+        window: Tuple[int, int],
+    ) -> np.ndarray:
+        """Serial-algorithm RHS on a padded config block and velocity window."""
+        solver = self.solver
+        g = solver.grid
+        cdim, vdim = g.cdim, g.vdim
+        aux = self._window_aux(em_loc, window)
+        vax = self._vel_axis
+
+        interior = tuple(
+            [slice(None)]
+            + [slice(1, -1) if pad[d] else slice(None) for d in range(cdim)]
+            + [slice(None)] * vdim
+        )
+        f_int = np.ascontiguousarray(f_loc[interior])
+        out = np.zeros_like(f_int)
+
+        # volume
+        for ts in solver.kernels.vol_stream:
+            ts.apply(f_int, aux, out)
+        for ts in solver.kernels.vol_accel:
+            ts.apply(f_int, aux, out)
+
+        # streaming surfaces per config axis
+        for j in range(cdim):
+            axis = 1 + j
+            sides = solver.kernels.surf_stream[j]
+            pos = solver._upwind_pos[j]
+            cell_vax = cdim + vax
+            lo, hi = window
+            if pos.shape[cell_vax] > 1:
+                pos = pos[_axis_slice(pos.ndim, cell_vax, slice(lo, hi))]
+            neg = 1.0 - pos
+            if not pad[j]:
+                f_left = f_int * pos
+                f_right = np.roll(f_int, -1, axis=axis) * neg
+                sides[("L", "L")].apply(f_left, aux, out)
+                sides[("L", "R")].apply(f_right, aux, out)
+                buf = np.zeros_like(out)
+                sides[("R", "L")].apply(f_left, aux, buf)
+                sides[("R", "R")].apply(f_right, aux, buf)
+                out += np.roll(buf, 1, axis=axis)
+                continue
+            # padded axis: restrict other config axes to interior, keep this
+            # axis full (n+2 entries -> n+1 faces touching interior cells)
+            view = tuple(
+                [slice(None)]
+                + [
+                    slice(None) if d == j else (slice(1, -1) if pad[d] else slice(None))
+                    for d in range(cdim)
+                ]
+                + [slice(None)] * vdim
+            )
+            garr = f_loc[view]
+            n = garr.shape[axis] - 2
+            f_left = garr[_axis_slice(garr.ndim, axis, slice(0, n + 1))] * pos
+            f_right = garr[_axis_slice(garr.ndim, axis, slice(1, n + 2))] * neg
+            inc_left = np.zeros_like(f_left)
+            sides[("L", "L")].apply(f_left, aux, inc_left)
+            sides[("L", "R")].apply(f_right, aux, inc_left)
+            inc_right = np.zeros_like(f_left)
+            sides[("R", "L")].apply(f_left, aux, inc_right)
+            sides[("R", "R")].apply(f_right, aux, inc_right)
+            # face k -> left-cell increment lands on pad cell k (interior for
+            # k = 1..n), right-cell increment on pad cell k+1
+            out += inc_left[_axis_slice(out.ndim, axis, slice(1, n + 1))]
+            out += inc_right[_axis_slice(out.ndim, axis, slice(0, n))]
+
+        # acceleration surfaces: interior faces of the velocity window
+        for j in range(vdim):
+            axis = 1 + cdim + j
+            n = f_int.shape[axis]
+            if n < 2:
+                continue
+            sides = solver.kernels.surf_accel[j]
+            sl_lo = _axis_slice(f_int.ndim, axis, slice(0, n - 1))
+            sl_hi = _axis_slice(f_int.ndim, axis, slice(1, n))
+            f_left = np.ascontiguousarray(f_int[sl_lo]) * 0.5
+            f_right = np.ascontiguousarray(f_int[sl_hi]) * 0.5
+            inc_left = np.zeros_like(f_left)
+            sides[("L", "L")].apply(f_left, aux, inc_left)
+            sides[("L", "R")].apply(f_right, aux, inc_left)
+            inc_right = np.zeros_like(f_left)
+            sides[("R", "L")].apply(f_left, aux, inc_right)
+            sides[("R", "R")].apply(f_right, aux, inc_right)
+            out[sl_lo] += inc_left
+            out[sl_hi] += inc_right
+        return out

@@ -1,0 +1,81 @@
+"""L2 projection of callables onto the modal DG representation.
+
+Initial conditions enter the simulation through a per-cell Gauss–Legendre
+projection.  (This is the one place quadrature legitimately appears: it
+approximates integrals of *non-polynomial* user data, not of the scheme's
+own nonlinear terms, so it has no bearing on the alias-free property of the
+update itself.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .basis.modal import ModalBasis, tensor_gauss_points
+from .grid.cartesian import Grid
+from .grid.phase import PhaseGrid
+
+__all__ = ["project_on_grid", "project_conf_function", "project_phase_function"]
+
+
+def project_on_grid(
+    fn: Callable[..., np.ndarray],
+    grid: Grid,
+    basis: ModalBasis,
+    quad_order: Optional[int] = None,
+) -> np.ndarray:
+    """Project ``fn(x0, x1, ...)`` onto every cell of a grid.
+
+    Parameters
+    ----------
+    fn:
+        Vectorized callable of ``grid.ndim`` coordinate arrays.
+    grid, basis:
+        Target discretization (``basis.ndim == grid.ndim``).
+    quad_order:
+        Gauss points per dimension (default ``p + 3``).
+
+    Returns
+    -------
+    Coefficient array of shape ``(num_basis, *grid.cells)``.
+    """
+    if basis.ndim != grid.ndim:
+        raise ValueError("basis/grid dimensionality mismatch")
+    nq = quad_order if quad_order is not None else basis.poly_order + 3
+    pts, wts = tensor_gauss_points(nq, grid.ndim)
+    vander = basis.eval_at(pts)  # (Np, Nq)
+    centers = grid.meshgrid_centers()
+    half_dx = [0.5 * dx for dx in grid.dx]
+    out = np.zeros((basis.num_basis,) + grid.cells)
+    for q in range(pts.shape[0]):
+        coords = [
+            centers[d] + half_dx[d] * pts[q, d] for d in range(grid.ndim)
+        ]
+        vals = np.asarray(fn(*coords), dtype=float)
+        if vals.shape != grid.cells:
+            vals = np.broadcast_to(vals, grid.cells)
+        out += wts[q] * vander[:, q].reshape((-1,) + (1,) * grid.ndim) * vals
+    return out
+
+
+def project_conf_function(
+    fn: Callable[..., np.ndarray],
+    grid: Grid,
+    basis: ModalBasis,
+    quad_order: Optional[int] = None,
+) -> np.ndarray:
+    """Alias of :func:`project_on_grid` for configuration-space fields."""
+    return project_on_grid(fn, grid, basis, quad_order)
+
+
+def project_phase_function(
+    fn: Callable[..., np.ndarray],
+    phase_grid: PhaseGrid,
+    basis: ModalBasis,
+    quad_order: Optional[int] = None,
+) -> np.ndarray:
+    """Project a phase-space function ``fn(x..., v...)`` onto the phase basis."""
+    full_grid = phase_grid.conf.extend(phase_grid.vel)
+    return project_on_grid(fn, full_grid, basis, quad_order)

@@ -1,0 +1,5 @@
+"""Recovery-based DG operators (paper Sec. VI future-work direction)."""
+
+from .recovery1d import RecoveryDiffusion1D, recovery_interface_vectors
+
+__all__ = ["RecoveryDiffusion1D", "recovery_interface_vectors"]

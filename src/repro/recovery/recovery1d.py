@@ -1,0 +1,156 @@
+"""Recovery-based DG diffusion (the paper's Sec. VI future-work direction).
+
+The paper's concluding section highlights "a novel recovery based DG scheme"
+(van Leer & Nomura 2005; van Leer & Lo 2007) that can reach, e.g., 4th-order
+convergence from p=1 bases.  This module implements the 1-D recovery
+operator with the same exact-CAS philosophy as the rest of the library: the
+recovery polynomial — the unique degree-(2p+1) polynomial on the union of
+two neighbouring cells whose L2 moments match both cells' DG data — is
+computed once symbolically, reduced to small interface matrices, and applied
+as a matrix-free update.
+
+Used as an alternative discretization of the diffusive part of the LBO
+collision operator and benchmarked against the two-pass LDG scheme in
+``benchmarks/bench_ablation_recovery.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from ..basis.legendre import legendre_coefficients
+from ..basis.modal import ModalBasis
+from ..grid.cartesian import Grid
+
+__all__ = ["recovery_interface_vectors", "RecoveryDiffusion1D"]
+
+
+def _legendre_shifted_moment(k: int, i: int, side: str) -> Fraction:
+    """Exact ``int s^k P_i(2s +- 1) ds`` over ``[-1,0]`` (left) / ``[0,1]``
+    (right) of the union coordinate ``s``."""
+    coeffs = legendre_coefficients(i)
+    total = Fraction(0)
+    # expand P_i(2s + c) with c = +1 (left) or -1 (right) via binomial
+    c = Fraction(1) if side == "left" else Fraction(-1)
+    for m, a in enumerate(coeffs):
+        if a == 0:
+            continue
+        # (2s + c)^m = sum_j C(m,j) (2s)^j c^(m-j)
+        for j in range(m + 1):
+            from math import comb
+
+            term = a * comb(m, j) * (Fraction(2) ** j) * (c ** (m - j))
+            power = k + j
+            if side == "left":
+                # int_{-1}^{0} s^power ds = (0 - (-1)^(power+1))/(power+1)
+                integral = Fraction(-((-1) ** (power + 1)), power + 1)
+            else:
+                integral = Fraction(1, power + 1)
+            total += term * integral
+    return total
+
+
+@lru_cache(maxsize=None)
+def recovery_interface_vectors(p: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Interface value/derivative of the recovery polynomial.
+
+    Returns ``(v0_L, v0_R, v1_L, v1_R)`` such that, for modal coefficient
+    vectors ``uL``/``uR`` of the two cells (orthonormal basis),
+
+    * ``R(0)    = v0_L . uL + v0_R . uR``
+    * ``dR/ds(0) = v1_L . uL + v1_R . uR``  (union coordinate ``s``; the
+      physical derivative is this divided by the cell width ``h``).
+    """
+    n = 2 * p + 2
+    m = np.zeros((n, n))
+    for i in range(p + 1):
+        for k in range(n):
+            m[i, k] = float(_legendre_shifted_moment(k, i, "left"))
+            m[p + 1 + i, k] = float(_legendre_shifted_moment(k, i, "right"))
+    minv = np.linalg.inv(m)
+    norms = np.array(
+        [np.sqrt((2 * i + 1) / 2.0) for i in range(p + 1)]
+    )
+    # rhs_i = u_i / (2 n_i): moments of the cell's own expansion
+    scale = 1.0 / (2.0 * norms)
+    v0_l = minv[0, : p + 1] * scale
+    v0_r = minv[0, p + 1:] * scale
+    v1_l = minv[1, : p + 1] * scale
+    v1_r = minv[1, p + 1:] * scale
+    return v0_l, v0_r, v1_l, v1_r
+
+
+def _second_derivative_matrix(p: int) -> np.ndarray:
+    """Exact ``int (d^2 w_l / dxi^2) w_m dxi`` on the reference cell."""
+    basis = ModalBasis(1, p, "serendipity")
+    out = np.zeros((p + 1, p + 1))
+    from ..cas.poly import Poly
+
+    polys = [basis.poly(i, normalized=False) for i in range(p + 1)]
+    norms = [basis.norm(i) for i in range(p + 1)]
+    for l in range(p + 1):
+        d2 = polys[l].diff(0).diff(0)
+        for m in range(p + 1):
+            val = (d2 * polys[m]).integrate_cube()
+            if val != 0:
+                out[l, m] = float(val) * norms[l] * norms[m]
+    return out
+
+
+class RecoveryDiffusion1D:
+    """Matrix-free recovery-DG discretization of ``d/dt u = D u_xx`` (1-D,
+    periodic).
+
+    The interface flux and value come from the recovery polynomial, giving a
+    compact-stencil scheme that converges at order ~2p+2 (verified in
+    ``tests/test_recovery.py``) — the paper's motivation for pursuing
+    recovery to cut 5D/6D resolution requirements.
+    """
+
+    def __init__(self, grid: Grid, poly_order: int, diffusivity: float = 1.0):
+        if grid.ndim != 1:
+            raise ValueError("RecoveryDiffusion1D is one-dimensional")
+        self.grid = grid
+        self.p = int(poly_order)
+        self.diffusivity = float(diffusivity)
+        p = self.p
+        self.basis = ModalBasis(1, p, "serendipity")
+        self.v0_l, self.v0_r, self.v1_l, self.v1_r = recovery_interface_vectors(p)
+        self.d2 = _second_derivative_matrix(p)
+        # face traces of w_l and dw_l/dxi at xi = +-1
+        pts = np.array([[1.0], [-1.0]])
+        vals = self.basis.eval_at(pts)
+        dvals = self.basis.eval_deriv_at(pts, 0)
+        self.w_hi, self.w_lo = vals[:, 0], vals[:, 1]
+        self.dw_hi, self.dw_lo = dvals[:, 0], dvals[:, 1]
+
+    def rhs(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Evaluate ``D u_xx`` for coefficients ``u`` of shape ``(p+1, nx)``."""
+        p, h = self.p, self.grid.dx[0]
+        if out is None:
+            out = np.zeros_like(u)
+        else:
+            out.fill(0.0)
+        u_right = np.roll(u, -1, axis=1)  # cell to the right of each face
+        # recovery value/slope at the face between cell i and i+1
+        r0 = self.v0_l @ u + self.v0_r @ u_right          # (nx,) per face
+        r1 = (self.v1_l @ u + self.v1_r @ u_right) / h    # physical dR/dx
+        # per cell: right face = face i, left face = face i-1
+        r0_left, r1_left = np.roll(r0, 1), np.roll(r1, 1)
+        rdx = 2.0 / h
+        out += rdx * (np.outer(self.w_hi, r1) - np.outer(self.w_lo, r1_left))
+        out -= rdx * rdx * (
+            np.outer(self.dw_hi, r0) - np.outer(self.dw_lo, r0_left)
+        )
+        out += rdx * rdx * (self.d2 @ u)
+        out *= self.diffusivity
+        return out
+
+    def max_frequency(self) -> float:
+        """Parabolic CFL estimate."""
+        h = self.grid.dx[0]
+        return self.diffusivity * (2 * self.p + 1) ** 2 / h ** 2 * 2.0

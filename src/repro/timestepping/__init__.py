@@ -1,0 +1,5 @@
+"""Explicit SSP Runge–Kutta time integration."""
+
+from .ssprk import ForwardEuler, SSPRK2, SSPRK3, get_stepper
+
+__all__ = ["ForwardEuler", "SSPRK2", "SSPRK3", "get_stepper"]

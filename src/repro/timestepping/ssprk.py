@@ -1,0 +1,89 @@
+"""Strong-stability-preserving Runge–Kutta steppers.
+
+The paper integrates the semi-discrete system with the three-stage,
+third-order SSP-RK method (Shu–Osher form); forward Euler and SSP-RK2 are
+provided for convergence studies and cost accounting.  Steppers operate on
+*states*: flat dictionaries mapping names to NumPy arrays, combined
+elementwise — this keeps multi-species + field systems in lockstep through
+the stages exactly as Gkeyll's App system does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+State = Dict[str, np.ndarray]
+RhsFn = Callable[[State], State]
+
+__all__ = ["ForwardEuler", "SSPRK2", "SSPRK3", "get_stepper", "state_axpy"]
+
+
+def state_axpy(coeffs_states) -> State:
+    """Linear combination of states: ``sum_i a_i * s_i``."""
+    out: State = {}
+    for a, s in coeffs_states:
+        for k, v in s.items():
+            if k in out:
+                out[k] = out[k] + a * v
+            else:
+                out[k] = a * v
+    return out
+
+
+class ForwardEuler:
+    """First-order explicit Euler (also the unit of the paper's cost metric)."""
+
+    order = 1
+    stages = 1
+
+    def step(self, state: State, rhs: RhsFn, dt: float) -> State:
+        k1 = rhs(state)
+        return {k: state[k] + dt * k1[k] for k in state}
+
+
+class SSPRK2:
+    """Two-stage, second-order SSP-RK (Heun form)."""
+
+    order = 2
+    stages = 2
+
+    def step(self, state: State, rhs: RhsFn, dt: float) -> State:
+        k1 = rhs(state)
+        s1 = {k: state[k] + dt * k1[k] for k in state}
+        k2 = rhs(s1)
+        return {k: 0.5 * state[k] + 0.5 * (s1[k] + dt * k2[k]) for k in state}
+
+
+class SSPRK3:
+    """Three-stage, third-order SSP-RK (Shu–Osher) — the paper's stepper."""
+
+    order = 3
+    stages = 3
+
+    def step(self, state: State, rhs: RhsFn, dt: float) -> State:
+        k1 = rhs(state)
+        s1 = {k: state[k] + dt * k1[k] for k in state}
+        k2 = rhs(s1)
+        s2 = {k: 0.75 * state[k] + 0.25 * (s1[k] + dt * k2[k]) for k in state}
+        k3 = rhs(s2)
+        return {
+            k: state[k] / 3.0 + (2.0 / 3.0) * (s2[k] + dt * k3[k]) for k in state
+        }
+
+
+_STEPPERS = {
+    "forward-euler": ForwardEuler,
+    "ssp-rk2": SSPRK2,
+    "ssp-rk3": SSPRK3,
+}
+
+
+def get_stepper(name: str):
+    try:
+        return _STEPPERS[name]()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown stepper {name!r}; choose from {sorted(_STEPPERS)}"
+        ) from exc

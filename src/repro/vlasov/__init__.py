@@ -1,0 +1,6 @@
+"""Vlasov solvers: the paper's modal algorithm and the quadrature baseline."""
+
+from .modal_solver import VlasovModalSolver
+from .quadrature_solver import VlasovQuadratureSolver
+
+__all__ = ["VlasovModalSolver", "VlasovQuadratureSolver"]

@@ -1,0 +1,43 @@
+"""Shared fixtures: small grids and cached kernel bundles.
+
+Kernel generation is exact symbolic work and is memoized process-wide via
+:mod:`repro.kernels.registry`; the fixtures below standardize the small
+discretizations used across the suite so every test file hits the cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid import Grid, PhaseGrid
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20200919)
+
+
+@pytest.fixture
+def pg_1x1v():
+    return PhaseGrid(Grid([0.0], [1.0], [4]), Grid([-2.0], [2.0], [4]))
+
+
+@pytest.fixture
+def pg_1x2v():
+    return PhaseGrid(Grid([0.0], [1.0], [3]), Grid([-2.0, -2.0], [2.0, 2.0], [4, 4]))
+
+
+@pytest.fixture
+def pg_2x2v():
+    return PhaseGrid(
+        Grid([0.0, 0.0], [1.0, 1.0], [3, 3]), Grid([-2.0, -2.0], [2.0, 2.0], [4, 4])
+    )
+
+
+def random_em(rng, npc, conf_cells, amplitude=1.0):
+    return amplitude * rng.standard_normal((8, npc) + tuple(conf_cells))
+
+
+def random_f(rng, np_, cells, amplitude=1.0):
+    return amplitude * rng.standard_normal((np_,) + tuple(cells))

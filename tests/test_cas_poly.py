@@ -1,0 +1,105 @@
+"""Property-based tests of the exact polynomial algebra (the mini-CAS core)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cas.poly import Poly
+
+
+def poly_strategy(nvars=2, max_degree=3, max_terms=5):
+    expo = st.tuples(*[st.integers(0, max_degree)] * nvars)
+    coeff = st.fractions(
+        min_value=-5, max_value=5, max_denominator=8
+    )
+    return st.dictionaries(expo, coeff, max_size=max_terms).map(
+        lambda d: Poly(nvars, d)
+    )
+
+
+@given(poly_strategy(), poly_strategy())
+def test_addition_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(poly_strategy(), poly_strategy())
+def test_multiplication_commutes(a, b):
+    assert a * b == b * a
+
+
+@settings(max_examples=50)
+@given(poly_strategy(), poly_strategy(), poly_strategy())
+def test_distributivity(a, b, c):
+    assert a * (b + c) == a * b + a * c
+
+
+@given(poly_strategy())
+def test_additive_inverse(a):
+    assert (a + (-a)).is_zero()
+
+
+@given(poly_strategy())
+def test_one_is_identity(a):
+    assert Poly.one(a.nvars) * a == a
+
+
+@given(poly_strategy(), poly_strategy())
+def test_derivative_is_linear(a, b):
+    assert (a + b).diff(0) == a.diff(0) + b.diff(0)
+
+
+@settings(max_examples=40)
+@given(poly_strategy(), poly_strategy())
+def test_product_rule(a, b):
+    lhs = (a * b).diff(1)
+    rhs = a.diff(1) * b + a * b.diff(1)
+    assert lhs == rhs
+
+
+@given(poly_strategy())
+def test_integral_matches_quadrature(a):
+    """Exact cube integral equals high-order Gauss quadrature."""
+    exact = float(a.integrate_cube())
+    x, w = np.polynomial.legendre.leggauss(6)
+    total = 0.0
+    for i, xi in enumerate(x):
+        for j, xj in enumerate(x):
+            total += w[i] * w[j] * a.eval([xi, xj])
+    assert np.isclose(exact, total, atol=1e-9)
+
+
+@given(poly_strategy(), st.fractions(min_value=-1, max_value=1, max_denominator=4))
+def test_substitution_consistency(a, val):
+    sub = a.substitute_value(0, val)
+    pt = [float(val), 0.37]
+    assert np.isclose(sub.eval(pt), a.eval(pt), atol=1e-9)
+
+
+def test_variable_and_monomial():
+    x = Poly.variable(3, 0)
+    y = Poly.variable(3, 1)
+    p = x * y + 2 * x
+    assert p.degree() == 2
+    assert p.degree_in(0) == 1
+    assert p.eval([2.0, 3.0, 0.0]) == pytest.approx(10.0)
+
+
+def test_drop_var_checks():
+    p = Poly.variable(2, 0)
+    with pytest.raises(ValueError):
+        p.drop_var(0)
+    q = p.drop_var(1)
+    assert q.nvars == 1
+
+
+def test_invalid_exponent_rejected():
+    with pytest.raises(ValueError):
+        Poly(2, {(0, -1): 1})
+
+
+def test_mismatched_nvars_rejected():
+    with pytest.raises(ValueError):
+        Poly.one(2) + Poly.one(3)

@@ -1,0 +1,144 @@
+"""Collision operators: conservation, relaxation, H-theorem behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.basis.modal import ModalBasis
+from repro.collisions import BGKCollisions, LBOCollisions
+from repro.grid import Grid, PhaseGrid
+from repro.kernels import get_vlasov_kernels
+from repro.moments import MomentCalculator, integrate_conf_field
+from repro.projection import project_phase_function
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pg = PhaseGrid(Grid([0.0], [1.0], [2]), Grid([-8.0], [8.0], [24]))
+    p = 2
+    kern = get_vlasov_kernels(1, 1, p, "serendipity")
+    mom = MomentCalculator(pg, kern)
+    basis = ModalBasis(2, p, "serendipity")
+
+    def f0(x, v):
+        return np.exp(-((v - 1.0) ** 2) / 0.5) + 0.5 * np.exp(-((v + 2.0) ** 2) / 0.3)
+
+    f = project_phase_function(f0, pg, basis)
+    return pg, p, mom, basis, f
+
+
+def test_lbo_conserves_density_momentum_energy(setup):
+    pg, p, mom, _, f = setup
+    lbo = LBOCollisions(pg, p, nu=1.0)
+    df = lbo.rhs(f, mom)
+    n0 = integrate_conf_field(mom.compute("M0", f), pg)
+    e0 = integrate_conf_field(mom.compute("M2", f), pg)
+    assert abs(integrate_conf_field(mom.compute("M0", df), pg)) / n0 < 1e-12
+    assert abs(integrate_conf_field(mom.compute("M1x", df), pg)) < 1e-12 * n0
+    assert abs(integrate_conf_field(mom.compute("M2", df), pg)) / e0 < 1e-12
+
+
+def test_lbo_maxwellian_residual_converges(setup):
+    """C[f_M] -> 0 under velocity refinement (the Maxwellian is the
+    continuum equilibrium; the discrete residual is pure truncation)."""
+
+    def residual(nv, p=2):
+        pg = PhaseGrid(Grid([0.0], [1.0], [2]), Grid([-8.0], [8.0], [nv]))
+        kern = get_vlasov_kernels(1, 1, p, "serendipity")
+        mom = MomentCalculator(pg, kern)
+        basis = ModalBasis(2, p, "serendipity")
+
+        def fm(x, v):
+            return np.exp(-v ** 2 / 2) / np.sqrt(2 * np.pi)
+
+        f = project_phase_function(fm, pg, basis)
+        lbo = LBOCollisions(pg, p, nu=1.0)
+        df = lbo.rhs(f, mom)
+        return np.max(np.abs(df)) / np.max(np.abs(f))
+
+    r_coarse = residual(16)
+    r_fine = residual(64)
+    assert r_fine < 0.25 * r_coarse  # clear decay under 4x refinement
+    assert r_fine < 0.1
+
+
+def test_lbo_relaxes_toward_maxwellian(setup):
+    pg, p, mom, _, f = setup
+    lbo = LBOCollisions(pg, p, nu=1.0)
+    bgk = BGKCollisions(pg, p, nu=1.0)
+    g = f.copy()
+    dt = 2e-3
+    dist0 = np.max(np.abs(g - bgk.maxwellian_coefficients(g, mom)))
+    for _ in range(300):
+        g = g + dt * lbo.rhs(g, mom)
+    dist1 = np.max(np.abs(g - bgk.maxwellian_coefficients(g, mom)))
+    assert dist1 < 0.2 * dist0
+
+
+def test_lbo_fixed_primitive_moments(setup):
+    pg, p, mom, _, f = setup
+    npc = 3
+    u = np.zeros((1, npc, 2))
+    vtsq = np.zeros((npc, 2))
+    vtsq[0] = np.sqrt(2.0) * 1.0  # vth^2 = 1 as a DG field
+    lbo = LBOCollisions(pg, p, nu=0.5, fixed_u=u, fixed_vtsq=vtsq)
+    df = lbo.rhs(f, mom)
+    assert np.isfinite(df).all()
+    n0 = integrate_conf_field(mom.compute("M0", f), pg)
+    assert abs(integrate_conf_field(mom.compute("M0", df), pg)) / n0 < 1e-12
+
+
+def test_bgk_conservation_to_projection_accuracy(setup):
+    pg, p, mom, _, f = setup
+    bgk = BGKCollisions(pg, p, nu=2.0)
+    df = bgk.rhs(f, mom)
+    n0 = integrate_conf_field(mom.compute("M0", f), pg)
+    e0 = integrate_conf_field(mom.compute("M2", f), pg)
+    assert abs(integrate_conf_field(mom.compute("M0", df), pg)) / n0 < 1e-5
+    assert abs(integrate_conf_field(mom.compute("M2", df), pg)) / e0 < 1e-4
+
+
+def test_bgk_maxwellian_is_fixed_point(setup):
+    pg, p, mom, basis, _ = setup
+
+    def fm(x, v):
+        return 1.7 * np.exp(-((v - 0.3) ** 2) / 2) / np.sqrt(2 * np.pi)
+
+    f = project_phase_function(fm, pg, basis)
+    bgk = BGKCollisions(pg, p, nu=1.0)
+    df = bgk.rhs(f, mom)
+    assert np.max(np.abs(df)) / np.max(np.abs(f)) < 2e-3
+
+
+def test_bgk_accumulate_interface(setup):
+    pg, p, mom, _, f = setup
+    bgk = BGKCollisions(pg, p, nu=1.0)
+    base = np.ones_like(f)
+    out = base.copy()
+    bgk.rhs(f, mom, out=out, accumulate=True)
+    assert np.allclose(out - base, bgk.rhs(f, mom), atol=1e-14)
+
+
+def test_lbo_2v_conservation():
+    pg = PhaseGrid(Grid([0.0], [1.0], [2]), Grid([-6.0, -6.0], [6.0, 6.0], [12, 12]))
+    p = 1
+    kern = get_vlasov_kernels(1, 2, p, "serendipity")
+    mom = MomentCalculator(pg, kern)
+    basis = ModalBasis(3, p, "serendipity")
+
+    def f0(x, vx, vy):
+        return np.exp(-((vx - 1.0) ** 2 + vy ** 2) / 1.5)
+
+    f = project_phase_function(f0, pg, basis)
+    lbo = LBOCollisions(pg, p, nu=1.0)
+    df = lbo.rhs(f, mom)
+    n0 = integrate_conf_field(mom.compute("M0", f), pg)
+    assert abs(integrate_conf_field(mom.compute("M0", df), pg)) / n0 < 1e-12
+    assert abs(integrate_conf_field(mom.compute("M1x", df), pg)) < 1e-10 * n0
+    assert abs(integrate_conf_field(mom.compute("M1y", df), pg)) < 1e-10 * n0
+
+
+def test_lbo_cfl_frequency_positive(setup):
+    pg, p, mom, _, f = setup
+    lbo = LBOCollisions(pg, p, nu=3.0)
+    lbo.rhs(f, mom)
+    assert lbo.max_frequency() > 0

@@ -1,0 +1,67 @@
+"""Field–particle correlation: velocity integral equals the local J.E work."""
+
+import numpy as np
+import pytest
+
+from repro.basis.modal import ModalBasis
+from repro.diagnostics.fieldparticle import FieldParticleCorrelator
+from repro.grid import Grid, PhaseGrid
+from repro.projection import project_phase_function
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pg = PhaseGrid(Grid([0.0], [1.0], [4]), Grid([-6.0], [6.0], [48]))
+    basis = ModalBasis(2, 2, "serendipity")
+    return pg, basis
+
+
+def test_correlation_velocity_integral_is_jdote_density(setup):
+    """int C_E(v) dv = -q E int (v^2/2) df/dv dv = q E int v f dv = E * j/q...
+    For a drifting Maxwellian (n=1, drift u): integral -> q E u = j E / n.
+    Checked with the trapezoid rule on a fine velocity sampling."""
+    pg, basis = setup
+    u = 0.8
+
+    def f0(x, v):
+        return np.exp(-((v - u) ** 2) / 2) / np.sqrt(2 * np.pi)
+
+    f = project_phase_function(f0, pg, basis)
+    v = np.linspace(-5.8, 5.8, 401)
+    q, e_val = -1.0, 0.7
+    corr = FieldParticleCorrelator(pg, basis, charge=q, x0=0.5, velocities=v)
+    corr.record(f, e_at_x0=e_val, t=0.0)
+    c = corr.correlation()["C"]
+    integral = np.trapezoid(c, v)
+    expected = q * e_val * u  # = E * (current density)/1
+    assert integral == pytest.approx(expected, rel=2e-2)
+
+
+def test_correlation_requires_snapshots(setup):
+    pg, basis = setup
+    corr = FieldParticleCorrelator(pg, basis, -1.0, 0.5, [0.0, 1.0])
+    with pytest.raises(RuntimeError):
+        corr.correlation()
+
+
+def test_correlation_time_average(setup):
+    pg, basis = setup
+
+    def f0(x, v):
+        return np.exp(-v ** 2 / 2) / np.sqrt(2 * np.pi)
+
+    f = project_phase_function(f0, pg, basis)
+    corr = FieldParticleCorrelator(pg, basis, -1.0, 0.5, np.linspace(-3, 3, 5))
+    corr.record(f, e_at_x0=+1.0, t=0.0)
+    corr.record(f, e_at_x0=-1.0, t=0.1)
+    out = corr.correlation()
+    # equal and opposite fields average to zero
+    assert np.allclose(out["C"], 0.0, atol=1e-14)
+    assert out["instantaneous"].shape == (2, 5)
+
+
+def test_correlation_rejects_2v():
+    pg = PhaseGrid(Grid([0.0], [1.0], [2]), Grid([-1, -1], [1, 1], [2, 2]))
+    basis = ModalBasis(3, 1, "serendipity")
+    with pytest.raises(ValueError):
+        FieldParticleCorrelator(pg, basis, -1.0, 0.5, [0.0])

@@ -1,0 +1,123 @@
+"""Grids, phase-space layout, and L2 projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis.modal import ModalBasis
+from repro.grid import Grid, PhaseGrid
+from repro.projection import project_on_grid, project_phase_function
+
+
+def test_grid_basics():
+    g = Grid([0.0, -1.0], [2.0, 1.0], [4, 8])
+    assert g.ndim == 2
+    assert g.num_cells == 32
+    assert g.dx == (0.5, 0.25)
+    assert g.cell_volume == pytest.approx(0.125)
+    assert np.allclose(g.centers(0), [0.25, 0.75, 1.25, 1.75])
+    assert np.allclose(g.edges(1), -1.0 + 0.25 * np.arange(9))
+    assert g.cell_center((1, 2)) == pytest.approx((0.75, -0.375))
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        Grid([0.0], [0.0], [4])
+    with pytest.raises(ValueError):
+        Grid([0.0], [1.0], [0])
+    with pytest.raises(ValueError):
+        Grid([0.0, 0.0], [1.0], [4])
+
+
+def test_grid_extend_and_refine():
+    a = Grid([0.0], [1.0], [4])
+    b = Grid([-2.0], [2.0], [8])
+    ab = a.extend(b)
+    assert ab.ndim == 2
+    assert ab.cells == (4, 8)
+    fine = a.refine(3)
+    assert fine.cells == (12,)
+    assert fine.dx[0] == pytest.approx(a.dx[0] / 3)
+
+
+def test_phase_grid_layout():
+    pg = PhaseGrid(Grid([0.0], [1.0], [3]), Grid([-2.0], [2.0], [4]))
+    assert pg.cdim == 1 and pg.vdim == 1 and pg.pdim == 2
+    assert pg.cells == (3, 4)
+    w = pg.velocity_center_array(0)
+    assert w.shape == (1, 4)
+    assert np.allclose(w.ravel(), [-1.5, -0.5, 0.5, 1.5])
+    aux = pg.base_aux()
+    assert aux["rdx0"] == pytest.approx(2.0 / (1.0 / 3.0))
+    assert aux["half_dxv1"] == pytest.approx(0.5)
+
+
+@given(st.integers(2, 12))
+def test_velocity_alignment_even_cells(n):
+    pg = PhaseGrid(Grid([0.0], [1.0], [2]), Grid([-3.0], [3.0], [2 * (n // 2) + 2]))
+    assert pg.check_velocity_alignment()
+
+
+def test_velocity_alignment_straddling():
+    pg = PhaseGrid(Grid([0.0], [1.0], [2]), Grid([-3.0], [3.0], [3]))
+    assert not pg.check_velocity_alignment()
+
+
+def test_conf_coefficient_array_shape():
+    pg = PhaseGrid(Grid([0.0, 0.0], [1.0, 1.0], [3, 2]), Grid([-1.0], [1.0], [4]))
+    arr = pg.conf_coefficient_array(np.ones((3, 2)))
+    assert arr.shape == (3, 2, 1)
+    with pytest.raises(ValueError):
+        pg.conf_coefficient_array(np.ones((2, 3)))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3])
+def test_projection_exact_for_polynomials(p):
+    """L2 projection reproduces any function inside the space exactly."""
+    grid = Grid([0.0], [2.0], [5])
+    basis = ModalBasis(1, p, "serendipity")
+
+    def func(x):
+        return 1.0 + x + (x ** p) * 0.5
+
+    coeffs = project_on_grid(func, grid, basis)
+    # evaluate back at cell centers
+    pts = np.zeros((1, 1))
+    v = basis.eval_at(pts)  # basis at cell-center reference point
+    centers = grid.centers(0)
+    recon = np.einsum("l,lx->x", v[:, 0], coeffs)
+    assert np.allclose(recon, func(centers), atol=1e-12)
+
+
+def test_projection_convergence_rate():
+    """Non-polynomial data: projection error drops at order p+1."""
+    basis = ModalBasis(1, 2, "serendipity")
+
+    def func(x):
+        return np.sin(2 * np.pi * x)
+
+    errs = []
+    for n in (8, 16, 32):
+        grid = Grid([0.0], [1.0], [n])
+        coeffs = project_on_grid(func, grid, basis)
+        # L2 error via fine quadrature
+        from repro.basis.modal import tensor_gauss_points
+
+        pts, wts = tensor_gauss_points(6, 1)
+        v = basis.eval_at(pts)
+        centers = grid.centers(0)
+        xq = centers[:, None] + 0.5 * grid.dx[0] * pts[:, 0][None, :]
+        recon = np.einsum("lq,lx->xq", v, coeffs)
+        err = np.sqrt(np.sum(wts * (recon - func(xq)) ** 2) * 0.5 * grid.dx[0])
+        errs.append(err)
+    rate = np.log2(errs[0] / errs[1])
+    assert rate == pytest.approx(3.0, abs=0.4)
+
+
+def test_phase_projection_shape():
+    pg = PhaseGrid(Grid([0.0], [1.0], [3]), Grid([-2.0], [2.0], [4]))
+    basis = ModalBasis(2, 1, "serendipity")
+    f = project_phase_function(lambda x, v: np.exp(-v ** 2), pg, basis)
+    assert f.shape == (4, 3, 4)
+    assert np.isfinite(f).all()

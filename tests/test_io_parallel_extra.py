@@ -1,0 +1,67 @@
+"""Additional I/O and decomposition edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.io import checkpoint_roundtrip_equal, load_checkpoint, save_checkpoint
+from repro.parallel import ConfDecomposition, SimulatedComm, VelocitySlabs
+from repro.parallel.decomp import block_ranges
+
+
+def test_checkpoint_nested_keys(tmp_path):
+    state = {"f/species/with/slashes": np.eye(3)}
+    save_checkpoint(tmp_path / "x.npz", state, {"a": 1})
+    back, meta = load_checkpoint(tmp_path / "x.npz")
+    assert checkpoint_roundtrip_equal(state, back)
+    assert meta == {"a": 1}
+
+
+def test_checkpoint_roundtrip_equal_detects_mismatch():
+    a = {"x": np.ones(3)}
+    assert not checkpoint_roundtrip_equal(a, {"y": np.ones(3)})
+    assert not checkpoint_roundtrip_equal(a, {"x": np.zeros(3)})
+    assert checkpoint_roundtrip_equal(a, {"x": np.ones(3)})
+
+
+def test_checkpoint_meta_types(tmp_path):
+    meta = {"time": 1.5, "steps": 10, "name": "elc", "list": [1, 2]}
+    save_checkpoint(tmp_path / "m.npz", {"a": np.zeros(2)}, meta)
+    _, back = load_checkpoint(tmp_path / "m.npz")
+    assert back == meta
+
+
+def test_velocity_slabs_cover():
+    slabs = VelocitySlabs(cells=(8, 12), axis=1, nslabs=5)
+    ranges = slabs.ranges()
+    assert ranges[0][0] == 0 and ranges[-1][1] == 12
+    total = sum(hi - lo for lo, hi in ranges)
+    assert total == 12
+    assert slabs.slab_cells(0)[0] == 8
+
+
+def test_decomposition_rejects_oversubscription():
+    with pytest.raises(ValueError):
+        ConfDecomposition.create((2, 2), 16)
+
+
+def test_single_rank_has_no_ghosts():
+    dec = ConfDecomposition.create((8, 8), 1)
+    assert dec.ghost_cells(0) == 0
+
+
+def test_comm_reset_stats():
+    comm = SimulatedComm(2)
+    comm.send(0, 1, np.ones(4))
+    comm.recv(0, 1)
+    comm.reset_stats()
+    assert comm.stats.messages == 0 and comm.stats.doubles == 0
+
+
+def test_block_ranges_balance_property():
+    for n in (7, 16, 33):
+        for b in (1, 2, 3, 5, 7):
+            if b > n:
+                continue
+            sizes = [hi - lo for lo, hi in block_ranges(n, b)]
+            assert sum(sizes) == n
+            assert max(sizes) - min(sizes) <= 1

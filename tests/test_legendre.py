@@ -1,0 +1,79 @@
+"""Exact Legendre machinery: coefficients, norms, orthogonality."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.basis.legendre import (
+    eval_legendre_float,
+    legendre_coefficients,
+    legendre_norm_squared,
+    legendre_value_at_one,
+)
+from repro.cas.integrate import legendre_product_integral_1d
+
+
+def test_first_coefficients():
+    assert legendre_coefficients(0) == (Fraction(1),)
+    assert legendre_coefficients(1) == (Fraction(0), Fraction(1))
+    assert legendre_coefficients(2) == (Fraction(-1, 2), Fraction(0), Fraction(3, 2))
+    assert legendre_coefficients(3) == (
+        Fraction(0),
+        Fraction(-3, 2),
+        Fraction(0),
+        Fraction(5, 2),
+    )
+
+
+@given(st.integers(0, 12), st.integers(0, 12))
+def test_orthogonality(m, n):
+    val = legendre_product_integral_1d((m, n), (False, False), 0)
+    if m == n:
+        assert val == legendre_norm_squared(n)
+    else:
+        assert val == 0
+
+
+@given(st.integers(0, 10))
+def test_value_at_one(n):
+    coeffs = legendre_coefficients(n)
+    assert sum(coeffs) == 1  # P_n(1) = 1
+    assert legendre_value_at_one(n, 1) == 1
+    assert legendre_value_at_one(n, -1) == (-1) ** n
+
+
+@given(st.integers(0, 10))
+def test_float_eval_matches_coefficients(n):
+    x = np.linspace(-1, 1, 7)
+    direct = np.zeros_like(x)
+    for k, c in enumerate(legendre_coefficients(n)):
+        direct += float(c) * x ** k
+    assert np.allclose(eval_legendre_float(n, x), direct, atol=1e-12)
+
+
+@given(st.integers(0, 8), st.integers(0, 8), st.integers(0, 3))
+def test_integral_with_monomial_matches_quadrature(m, n, r):
+    exact = float(legendre_product_integral_1d((m, n), (False, False), r))
+    x, w = np.polynomial.legendre.leggauss(12)
+    quad = np.sum(w * x ** r * eval_legendre_float(m, x) * eval_legendre_float(n, x))
+    assert np.isclose(exact, quad, atol=1e-10)
+
+
+@given(st.integers(0, 8), st.integers(1, 8))
+def test_derivative_integral_matches_quadrature(m, n):
+    exact = float(legendre_product_integral_1d((m, n), (False, True), 0))
+    x, w = np.polynomial.legendre.leggauss(12)
+    dn = np.polynomial.legendre.legder(np.eye(n + 1)[n])
+    dvals = np.polynomial.legendre.legval(x, dn)
+    quad = np.sum(w * eval_legendre_float(m, x) * dvals)
+    assert np.isclose(exact, quad, atol=1e-10)
+
+
+def test_negative_degree_rejected():
+    with pytest.raises(ValueError):
+        legendre_coefficients(-1)
+    with pytest.raises(ValueError):
+        legendre_norm_squared(-2)

@@ -1,0 +1,92 @@
+"""Linear kinetic theory module: classic values and limits."""
+
+import numpy as np
+import pytest
+
+from repro.linear import (
+    MaxwellianSpecies,
+    electrostatic_dielectric,
+    filamentation_growth_rate,
+    landau_damping_rate,
+    plasma_z,
+    plasma_z_deriv,
+    solve_dispersion,
+    transverse_dielectric,
+    two_stream_growth_rate,
+)
+
+
+def test_z_function_known_values():
+    # Z(0) = i sqrt(pi)
+    assert plasma_z(0.0) == pytest.approx(1j * np.sqrt(np.pi), abs=1e-12)
+    # large-argument asymptote Z ~ -1/zeta
+    z = plasma_z(50.0)
+    assert z.real == pytest.approx(-1.0 / 50.0, rel=1e-2)
+
+
+def test_z_derivative_identity():
+    for zeta in (0.3 + 0.1j, -1.2 + 0.5j, 2.0 - 0.3j):
+        lhs = plasma_z_deriv(zeta)
+        rhs = -2.0 * (1.0 + zeta * plasma_z(zeta))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+def test_landau_damping_classic_value():
+    """k lambda_D = 0.5: omega = 1.4156 - 0.1533i (textbook)."""
+    w = landau_damping_rate(0.5)
+    assert w.real == pytest.approx(1.4156, abs=2e-3)
+    assert w.imag == pytest.approx(-0.1533, abs=2e-3)
+
+
+def test_landau_damping_weakens_at_small_k():
+    g1 = abs(landau_damping_rate(0.3).imag)
+    g2 = abs(landau_damping_rate(0.5).imag)
+    assert g1 < g2
+
+
+def test_dielectric_root_is_root():
+    w = landau_damping_rate(0.5)
+    sp = [MaxwellianSpecies(wp=1.0, vt=1.0)]
+    assert abs(electrostatic_dielectric(w, 0.5, sp)) < 1e-8
+
+
+def test_two_stream_unstable_then_stable():
+    """Track the unstable two-stream root by continuation in k: growth at
+    long wavelength, Landau stabilization at short wavelength."""
+    sp = [
+        MaxwellianSpecies(wp=1 / np.sqrt(2), vt=0.2, drift=+2.0),
+        MaxwellianSpecies(wp=1 / np.sqrt(2), vt=0.2, drift=-2.0),
+    ]
+    w = two_stream_growth_rate(k=0.4, drift=2.0, vt=0.2)
+    assert w.imag > 0.05
+    rates = [w.imag]
+    for k in np.linspace(0.45, 1.2, 6):
+        w = solve_dispersion(electrostatic_dielectric, k, sp, guess=w)
+        rates.append(w.imag)
+    # growth must die away as k increases past the instability band
+    assert rates[-1] < 0.5 * max(rates)
+
+
+def test_filamentation_cold_limit():
+    """gamma^2 -> wp^2 u^2 k^2/(k^2 c^2 + wp^2) for vt -> 0."""
+    u, k = 0.2, 3.0
+    cold = 1.0 * u * k / np.sqrt(k ** 2 + 1.0)
+    w = filamentation_growth_rate(k=k, drift=u, vt=0.01)
+    assert w.imag == pytest.approx(cold, rel=0.05)
+    assert abs(w.real) < 1e-6
+
+
+def test_filamentation_thermal_stabilization():
+    g_cold = filamentation_growth_rate(k=2.0, drift=0.3, vt=0.02).imag
+    g_warm = filamentation_growth_rate(k=2.0, drift=0.3, vt=0.15).imag
+    assert g_warm < g_cold
+
+
+def test_solver_failure_raises():
+    sp = [MaxwellianSpecies(wp=1.0, vt=1.0)]
+
+    def bad(omega, k, species):
+        return complex(np.nan, np.nan)
+
+    with pytest.raises(RuntimeError):
+        solve_dispersion(bad, 0.5, sp, guess=1.0 + 0j)

@@ -1,0 +1,95 @@
+"""Orthonormality and evaluation of the modal bases (the identity mass matrix
+that makes the scheme matrix-free)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis.modal import ModalBasis, tensor_gauss_points
+from repro.basis.matrices import derivative_matrix, face_matrices, mass_matrix
+
+
+@pytest.mark.parametrize("family", ["tensor", "serendipity", "maximal-order"])
+@pytest.mark.parametrize("ndim,p", [(1, 1), (1, 3), (2, 2), (3, 1), (3, 2)])
+def test_orthonormality(ndim, p, family):
+    basis = ModalBasis(ndim, p, family)
+    pts, wts = tensor_gauss_points(p + 2, ndim)
+    v = basis.eval_at(pts)
+    gram = (v * wts) @ v.T
+    assert np.allclose(gram, np.eye(basis.num_basis), atol=1e-12)
+
+
+@pytest.mark.parametrize("ndim,p", [(1, 2), (2, 1), (2, 2)])
+def test_derivative_matrix_vs_quadrature(ndim, p):
+    basis = ModalBasis(ndim, p, "serendipity")
+    pts, wts = tensor_gauss_points(p + 2, ndim)
+    v = basis.eval_at(pts)
+    for d in range(ndim):
+        dv = basis.eval_deriv_at(pts, d)
+        ref = (dv * wts) @ v.T
+        assert np.allclose(derivative_matrix(basis, d), ref, atol=1e-12)
+
+
+def test_mass_matrix_is_identity():
+    basis = ModalBasis(2, 2, "serendipity")
+    assert np.array_equal(mass_matrix(basis), np.eye(basis.num_basis))
+
+
+@pytest.mark.parametrize("ndim,p", [(2, 1), (2, 2)])
+def test_face_matrices_vs_quadrature(ndim, p):
+    basis = ModalBasis(ndim, p, "tensor")
+    n1, w1 = np.polynomial.legendre.leggauss(p + 2)
+    for d in range(ndim):
+        fm = face_matrices(basis, d)
+        # face quadrature points for the (ndim-1)-dim face
+        pts_hi = np.insert(n1[:, None], d, 1.0, axis=1)
+        pts_lo = np.insert(n1[:, None], d, -1.0, axis=1)
+        v_hi = basis.eval_at(pts_hi)
+        v_lo = basis.eval_at(pts_lo)
+        ref_ll = -(v_hi * w1) @ v_hi.T
+        ref_rl = (v_lo * w1) @ v_hi.T
+        assert np.allclose(fm[("L", "L")], ref_ll, atol=1e-12)
+        assert np.allclose(fm[("R", "L")], ref_rl, atol=1e-12)
+
+
+def test_face_sign_parity():
+    basis = ModalBasis(2, 3, "tensor")
+    for i, alpha in enumerate(basis.indices):
+        assert basis.face_sign(i, 0, 1) == 1
+        assert basis.face_sign(i, 0, -1) == (-1) ** alpha[0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 3), st.integers(1, 3))
+def test_projection_reproduces_basis_functions(ndim, p):
+    """Projecting w_i returns the unit coefficient vector (L2 projector is
+    the identity on the span)."""
+    basis = ModalBasis(ndim, p, "serendipity")
+    i = min(2, basis.num_basis - 1)
+
+    def func(pts):
+        return basis.eval_at(pts)[i]
+
+    coeffs = basis.project(func)
+    expected = np.zeros(basis.num_basis)
+    expected[i] = 1.0
+    assert np.allclose(coeffs, expected, atol=1e-12)
+
+
+def test_eval_shapes_and_errors():
+    basis = ModalBasis(2, 1, "tensor")
+    pts = np.zeros((5, 2))
+    assert basis.eval_at(pts).shape == (4, 5)
+    with pytest.raises(ValueError):
+        basis.eval_at(np.zeros((5, 3)))
+    with pytest.raises(ValueError):
+        ModalBasis(2, 1, "bogus")
+
+
+def test_index_lookup_roundtrip():
+    basis = ModalBasis(3, 2, "serendipity")
+    for i, alpha in enumerate(basis.indices):
+        assert basis.index_of(alpha) == i
+        assert basis.contains(alpha)
+    assert not basis.contains((2, 2, 2))

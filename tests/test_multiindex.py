@@ -1,0 +1,80 @@
+"""Basis families: counts, closed forms, and the paper's quoted dimensions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.basis.multiindex import (
+    FAMILIES,
+    multi_indices,
+    num_basis,
+    superlinear_degree,
+)
+
+
+def test_paper_quoted_dimensions():
+    # Table I: p=2 Serendipity in 5D (2X3V) has 112 DOF
+    assert num_basis(5, 2, "serendipity") == 112
+    # Sec. IV: p=1 in 6D has Np = 64
+    assert num_basis(6, 1, "serendipity") == 64
+    assert num_basis(6, 1, "tensor") == 64
+
+
+@given(st.integers(1, 4), st.integers(0, 4))
+def test_tensor_closed_form(d, p):
+    assert num_basis(d, p, "tensor") == (p + 1) ** d
+    assert len(multi_indices(d, p, "tensor")) == (p + 1) ** d
+
+
+@given(st.integers(1, 4), st.integers(0, 4))
+def test_maximal_order_closed_form(d, p):
+    assert num_basis(d, p, "maximal-order") == math.comb(p + d, d)
+
+
+@given(st.integers(1, 4), st.integers(0, 3))
+def test_family_nesting(d, p):
+    """maximal-order ⊆ serendipity ⊆ tensor."""
+    mo = set(multi_indices(d, p, "maximal-order"))
+    ser = set(multi_indices(d, p, "serendipity"))
+    ten = set(multi_indices(d, p, "tensor"))
+    assert mo <= ser <= ten
+
+
+@given(st.integers(1, 4), st.integers(0, 3))
+def test_constant_mode_first(d, p):
+    for family in FAMILIES:
+        assert multi_indices(d, p, family)[0] == (0,) * d
+
+
+@given(st.integers(1, 5))
+def test_p1_serendipity_is_multilinear(d):
+    idx = multi_indices(d, 1, "serendipity")
+    assert len(idx) == 2 ** d
+    assert all(max(a) <= 1 for a in idx)
+
+
+def test_superlinear_degree():
+    assert superlinear_degree((1, 1, 1)) == 0
+    assert superlinear_degree((2, 1, 0)) == 2
+    assert superlinear_degree((2, 2, 3)) == 7
+
+
+def test_serendipity_2d_p2_is_quad8():
+    idx = multi_indices(2, 2, "serendipity")
+    assert len(idx) == 8
+    assert (2, 2) not in idx
+    assert (2, 1) in idx and (1, 2) in idx
+
+
+def test_invalid_family():
+    with pytest.raises(ValueError):
+        multi_indices(2, 1, "nodal")
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        multi_indices(0, 1)
+    with pytest.raises(ValueError):
+        multi_indices(2, -1)

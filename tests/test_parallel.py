@@ -1,0 +1,193 @@
+"""Two-level decomposition: partitions, halo exchange, decomposed == serial,
+memory accounting, and the scaling-model shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import Grid, PhaseGrid
+from repro.parallel import (
+    ClusterModel,
+    ConfDecomposition,
+    DecomposedVlasovRunner,
+    ProblemSpec,
+    SimulatedComm,
+    block_ranges,
+    factor_ranks,
+    memory_report,
+    strong_scaling_series,
+    weak_scaling_series,
+)
+from repro.vlasov import VlasovModalSolver
+
+
+# --------------------------------------------------------------------- #
+# decomposition properties
+# --------------------------------------------------------------------- #
+@given(st.integers(1, 64), st.integers(1, 64))
+def test_block_ranges_partition(ncells, nblocks):
+    if nblocks > ncells:
+        with pytest.raises(ValueError):
+            block_ranges(ncells, nblocks)
+        return
+    ranges = block_ranges(ncells, nblocks)
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == ncells
+    for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+        assert a1 == b0
+    sizes = [hi - lo for lo, hi in ranges]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(st.integers(1, 64))
+def test_factor_ranks_product(n):
+    dims = factor_ranks(n, 3, (128, 128, 128))
+    assert int(np.prod(dims)) == n
+
+
+def test_conf_decomposition_covers_domain():
+    dec = ConfDecomposition.create((8, 6, 4), 8)
+    seen = np.zeros((8, 6, 4), dtype=int)
+    for rank in range(dec.num_blocks):
+        rng = dec.local_ranges(rank)
+        sl = tuple(slice(lo, hi) for lo, hi in rng)
+        seen[sl] += 1
+    assert np.all(seen == 1)
+
+
+def test_neighbor_periodicity():
+    dec = ConfDecomposition.create((8, 8), 4)
+    for rank in range(4):
+        for axis in range(2):
+            right = dec.neighbor(rank, axis, +1)
+            assert dec.neighbor(right, axis, -1) == rank
+
+
+# --------------------------------------------------------------------- #
+# simulated communicator
+# --------------------------------------------------------------------- #
+def test_comm_fifo_and_stats():
+    comm = SimulatedComm(2)
+    a = np.arange(4.0)
+    comm.send(0, 1, a)
+    comm.send(0, 1, 2 * a)
+    assert np.allclose(comm.recv(0, 1), a)
+    assert np.allclose(comm.recv(0, 1), 2 * a)
+    assert comm.stats.messages == 2
+    assert comm.stats.doubles == 8
+
+
+def test_comm_copies_on_send():
+    comm = SimulatedComm(2)
+    a = np.ones(3)
+    comm.send(0, 1, a)
+    a[:] = 99.0
+    assert np.allclose(comm.recv(0, 1), 1.0)
+
+
+def test_comm_missing_message_raises():
+    comm = SimulatedComm(2)
+    with pytest.raises(RuntimeError):
+        comm.recv(0, 1)
+    with pytest.raises(ValueError):
+        comm.send(0, 5, np.ones(1))
+
+
+# --------------------------------------------------------------------- #
+# decomposed == serial
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("nodes,cores", [(1, 2), (2, 1), (2, 2), (3, 2)])
+def test_decomposed_rhs_matches_serial(nodes, cores, rng):
+    conf = Grid([0.0], [1.0], [6])
+    vel = Grid([-2.0, -2.0], [2.0, 2.0], [4, 6])
+    pg = PhaseGrid(conf, vel)
+    solver = VlasovModalSolver(pg, 1, "serendipity")
+    f = rng.standard_normal((solver.num_basis,) + pg.cells)
+    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    serial = solver.rhs(f, em)
+    runner = DecomposedVlasovRunner(solver, nodes, cores)
+    dist = runner.rhs(f, em)
+    scale = max(float(np.max(np.abs(serial))), 1.0)
+    assert np.max(np.abs(dist - serial)) / scale < 1e-13
+
+
+def test_decomposed_2x_config(rng):
+    conf = Grid([0.0, 0.0], [1.0, 1.0], [4, 4])
+    vel = Grid([-2.0, -2.0], [2.0, 2.0], [4, 4])
+    pg = PhaseGrid(conf, vel)
+    solver = VlasovModalSolver(pg, 1, "serendipity")
+    f = rng.standard_normal((solver.num_basis,) + pg.cells)
+    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    serial = solver.rhs(f, em)
+    runner = DecomposedVlasovRunner(solver, 4, 2)
+    dist = runner.rhs(f, em)
+    scale = max(float(np.max(np.abs(serial))), 1.0)
+    assert np.max(np.abs(dist - serial)) / scale < 1e-13
+    assert runner.comm.stats.messages > 0
+    assert runner.comm.pending() == 0  # every ghost consumed
+
+
+def test_halo_bytes_match_decomposition_accounting(rng):
+    conf = Grid([0.0], [1.0], [6])
+    vel = Grid([-2.0], [2.0], [4])
+    pg = PhaseGrid(conf, vel)
+    solver = VlasovModalSolver(pg, 1, "serendipity")
+    f = rng.standard_normal((solver.num_basis,) + pg.cells)
+    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    runner = DecomposedVlasovRunner(solver, 3, 1)
+    runner.rhs(f, em)
+    expected = runner.decomp.halo_doubles_per_step(solver.num_basis)
+    assert runner.comm.stats.doubles == expected
+
+
+# --------------------------------------------------------------------- #
+# memory + scaling model
+# --------------------------------------------------------------------- #
+def test_shared_memory_saving_in_paper_band():
+    """Sec. IV: shared velocity decomposition saves 2-3x node memory."""
+    rep = memory_report(
+        conf_cells=(64, 64, 64),
+        vel_cells=(16, 16, 16),
+        nodes=64,
+        cores_per_node=64,
+        num_basis=64,
+    )
+    assert 1.8 <= rep["saving_factor"] <= 3.5
+
+
+def test_weak_scaling_shape():
+    """Paper: near-ideal weak scaling; at worst ~25% of the per-step cost in
+    halo exchange at 4096 nodes."""
+    model = ClusterModel(cell_updates_per_second_core=1e5)
+    base = ProblemSpec((8, 8, 8), (16, 16, 16), num_basis=64)
+    series = weak_scaling_series(model, base, [1, 8, 64, 512, 4096])
+    norm = [rec["normalized"] for rec in series]
+    assert norm[0] == pytest.approx(1.0)
+    assert all(n < 1.6 for n in norm)
+    assert all(n2 >= n1 for n1, n2 in zip(norm, norm[1:]))  # monotone rise
+    assert series[0]["halo_fraction"] == 0.0  # single node: no messages
+    assert 0.15 < series[-1]["halo_fraction"] < 0.35  # ~25% at 4096
+
+
+def test_strong_scaling_saturates():
+    """Paper: ~4x speedup per 8x nodes, ~60x total at 512x more nodes.
+
+    (The paper attributes the 4096-node step cost 80% to 'communication',
+    which on KNL includes intra-node shared-memory traffic; our model folds
+    that into the on-node starvation term, so the *inter-node* halo fraction
+    here is lower — the speedup curve is the quantity compared.)"""
+    model = ClusterModel(cell_updates_per_second_core=1e5)
+    problem = ProblemSpec((32, 32, 32), (8, 8, 8), num_basis=64)
+    series = strong_scaling_series(model, problem, [8, 64, 512, 4096])
+    speedups = [rec["speedup"] for rec in series]
+    ideals = [rec["ideal_speedup"] for rec in series]
+    assert speedups[0] == pytest.approx(1.0)
+    assert all(s2 > s1 for s1, s2 in zip(speedups, speedups[1:]))
+    assert speedups[-1] < 0.5 * ideals[-1]
+    # ~60x at 512x more nodes (paper's headline number), with slack
+    assert 40 < speedups[-1] < 90
+    # each 8x node increase buys roughly 4x (paper: "a factor of four")
+    gains = [s2 / s1 for s1, s2 in zip(speedups, speedups[1:])]
+    assert all(2.5 < g < 6.5 for g in gains)
+    assert series[-1]["halo_fraction"] > 0.1

@@ -1,0 +1,69 @@
+"""Exact 1-D DG electrostatic solve."""
+
+import numpy as np
+import pytest
+
+from repro.basis.modal import ModalBasis
+from repro.fields.poisson import Poisson1D
+from repro.grid import Grid
+from repro.projection import project_on_grid
+
+
+@pytest.fixture(scope="module")
+def setup():
+    grid = Grid([0.0], [2 * np.pi], [16])
+    basis = ModalBasis(1, 2, "serendipity")
+    return grid, basis, Poisson1D(grid, basis)
+
+
+def test_manufactured_solution(setup):
+    """rho = cos(x)  =>  E = sin(x) (zero mean, dE/dx = rho)."""
+    grid, basis, poisson = setup
+    rho = project_on_grid(lambda x: np.cos(x), grid, basis)
+    e = poisson.solve(rho)
+    e_exact = project_on_grid(lambda x: np.sin(x), grid, basis)
+    assert np.max(np.abs(e - e_exact)) < 1e-4  # p=2 projection accuracy
+
+
+def test_polynomial_charge_exact(setup):
+    """Piecewise-polynomial rho within the basis: E is exact up to degree."""
+    grid, basis, poisson = setup
+    # rho = sin(x) has zero net charge; E = -cos(x)+mean-free
+    rho = project_on_grid(lambda x: np.sin(x), grid, basis)
+    e = poisson.solve(rho)
+    e_exact = project_on_grid(lambda x: -np.cos(x), grid, basis)
+    assert np.max(np.abs(e - e_exact)) < 1e-4
+
+
+def test_gauss_law_discretely(setup):
+    """Cell-integrated dE/dx equals cell charge: edge values of the solve."""
+    grid, basis, poisson = setup
+    rng = np.random.default_rng(3)
+    rho = rng.standard_normal((basis.num_basis, grid.cells[0]))
+    rho[0] -= rho[0].mean()  # neutralize
+    e = poisson.solve(rho)
+    # domain mean must vanish
+    assert abs(e[0].sum()) < 1e-10
+
+
+def test_non_neutral_raises(setup):
+    grid, basis, poisson = setup
+    rho = np.zeros((basis.num_basis, grid.cells[0]))
+    rho[0] = 1.0
+    with pytest.raises(ValueError, match="neutral"):
+        poisson.solve(rho)
+
+
+def test_epsilon0_scaling(setup):
+    grid, basis, _ = setup
+    rho = project_on_grid(lambda x: np.cos(x), grid, basis)
+    e1 = Poisson1D(grid, basis, epsilon0=1.0).solve(rho)
+    e2 = Poisson1D(grid, basis, epsilon0=2.0).solve(rho)
+    assert np.allclose(e1, 2.0 * e2, atol=1e-12)
+
+
+def test_requires_1d():
+    grid = Grid([0.0, 0.0], [1.0, 1.0], [4, 4])
+    basis = ModalBasis(2, 1, "serendipity")
+    with pytest.raises(ValueError):
+        Poisson1D(grid, basis)

@@ -1,0 +1,95 @@
+"""Recovery-based DG diffusion: interface exactness and super-convergence
+(the paper's Sec. VI claim: e.g. 4th-order convergence from p=1)."""
+
+import numpy as np
+import pytest
+
+from repro.basis.modal import ModalBasis
+from repro.grid import Grid
+from repro.projection import project_on_grid
+from repro.recovery import RecoveryDiffusion1D, recovery_interface_vectors
+
+
+@pytest.mark.parametrize("p", [1, 2])
+def test_recovery_reproduces_smooth_polynomials(p):
+    """If uL/uR sample one global polynomial of degree <= 2p+1, the recovery
+    polynomial *is* that polynomial: interface value and slope are exact."""
+    rng = np.random.default_rng(0)
+    coeffs = rng.standard_normal(2 * p + 2)  # global poly in s on [-1, 1]
+
+    def poly(s):
+        return sum(c * s ** k for k, c in enumerate(coeffs))
+
+    basis = ModalBasis(1, p, "serendipity")
+    # project onto left ([-1,0]) and right ([0,1]) cells
+    grid = Grid([-1.0], [1.0], [2])
+    u = project_on_grid(poly, grid, basis, quad_order=2 * p + 4)
+    u_l, u_r = u[:, 0], u[:, 1]
+    v0l, v0r, v1l, v1r = recovery_interface_vectors(p)
+    r0 = v0l @ u_l + v0r @ u_r
+    r1 = v1l @ u_l + v1r @ u_r
+    exact0 = poly(0.0)
+    exact1 = sum(k * c * 0.0 ** max(k - 1, 0) for k, c in enumerate(coeffs) if k)
+    # dR/ds at s=0 is the linear coefficient; our s-coordinate spans one cell
+    # width per unit (cells have width 1 in s) => derivative scale matches
+    assert r0 == pytest.approx(exact0, abs=1e-10)
+    assert r1 == pytest.approx(coeffs[1], abs=1e-9)
+
+
+def _heat_error(nx, p, t_end=0.02):
+    """Heat equation on [0,1]: u = sin(2 pi x) decays as exp(-4 pi^2 t)."""
+    grid = Grid([0.0], [1.0], [nx])
+    basis = ModalBasis(1, p, "serendipity")
+    op = RecoveryDiffusion1D(grid, p, diffusivity=1.0)
+    u = project_on_grid(lambda x: np.sin(2 * np.pi * x), grid, basis,
+                        quad_order=p + 4)
+    # SSP-RK3 with dt well below both the parabolic limit and accuracy floor
+    from repro.timestepping import SSPRK3
+
+    stepper = SSPRK3()
+    dt = 0.1 / op.max_frequency() * (8.0 / nx) ** 0.5
+    t = 0.0
+    while t < t_end - 1e-14:
+        step = min(dt, t_end - t)
+        u = stepper.step({"u": u}, lambda s: {"u": op.rhs(s["u"])}, step)["u"]
+        t += step
+    decay = np.exp(-4 * np.pi ** 2 * t_end)
+    exact = project_on_grid(
+        lambda x: decay * np.sin(2 * np.pi * x), grid, basis, quad_order=p + 4
+    )
+    jac = 0.5 * grid.dx[0]
+    return float(np.sqrt(np.sum((u - exact) ** 2) * jac))
+
+
+def test_recovery_p1_superconvergence():
+    """Paper Sec. VI: recovery can deliver ~4th order from p=1."""
+    e1 = _heat_error(4, 1)
+    e2 = _heat_error(8, 1)
+    e3 = _heat_error(16, 1)
+    r1, r2 = np.log2(e1 / e2), np.log2(e2 / e3)
+    assert r1 > 3.2
+    assert r2 > 3.2
+
+
+def test_recovery_decay_rate_accuracy():
+    """Even on 8 cells with p=1 the decay of the sine mode is captured to a
+    fraction of a percent — the resolution-saving the paper is after."""
+    err = _heat_error(8, 1)
+    norm = np.exp(-4 * np.pi ** 2 * 0.02) / np.sqrt(2)
+    assert err / norm < 5e-3
+
+
+def test_recovery_conserves_mean():
+    """Diffusion conserves the total integral (periodic)."""
+    grid = Grid([0.0], [1.0], [12])
+    p = 1
+    op = RecoveryDiffusion1D(grid, p)
+    rng = np.random.default_rng(3)
+    u = rng.standard_normal((p + 1, 12))
+    du = op.rhs(u)
+    assert abs(du[0].sum()) < 1e-12
+
+
+def test_recovery_requires_1d():
+    with pytest.raises(ValueError):
+        RecoveryDiffusion1D(Grid([0, 0], [1, 1], [4, 4]), 1)

@@ -1,0 +1,45 @@
+"""Kernel registry: pre-generation caching (the Gkeyll build-step analogue)."""
+
+import time
+
+from repro.kernels import get_vlasov_kernels, registry_stats
+
+
+def test_registry_returns_same_object():
+    a = get_vlasov_kernels(1, 1, 1, "serendipity")
+    b = get_vlasov_kernels(1, 1, 1, "serendipity")
+    assert a is b
+
+
+def test_registry_distinguishes_configs():
+    a = get_vlasov_kernels(1, 1, 1, "serendipity")
+    b = get_vlasov_kernels(1, 1, 1, "tensor")
+    c = get_vlasov_kernels(1, 1, 2, "serendipity")
+    assert a is not b and a is not c
+    assert a.num_basis != c.num_basis
+
+
+def test_cached_fetch_is_fast():
+    get_vlasov_kernels(1, 2, 1, "serendipity")  # ensure generated
+    t0 = time.perf_counter()
+    for _ in range(100):
+        get_vlasov_kernels(1, 2, 1, "serendipity")
+    assert time.perf_counter() - t0 < 0.1
+
+
+def test_registry_stats_structure():
+    get_vlasov_kernels(1, 1, 1, "serendipity")
+    stats = registry_stats()
+    assert stats["bundles"] >= 1
+    assert stats["total_nnz"] > 0
+
+
+def test_bundle_contents_complete():
+    k = get_vlasov_kernels(2, 2, 1, "serendipity")
+    assert len(k.vol_stream) == 2
+    assert len(k.vol_accel) == 2
+    assert len(k.surf_stream) == 2 and len(k.surf_accel) == 2
+    for sides in k.surf_stream + k.surf_accel:
+        assert set(sides) == {("L", "L"), ("L", "R"), ("R", "L"), ("R", "R")}
+    assert {"M0", "M1x", "M1y", "M2"} <= set(k.moments)
+    assert k.all_update_termsets()  # non-empty accounting list
