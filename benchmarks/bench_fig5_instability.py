@@ -17,42 +17,27 @@ time-stepper level only), and records the time per step.
 import numpy as np
 import pytest
 
-from repro.apps import FieldSpec, Species, VlasovMaxwellApp
-from repro.diagnostics import EnergyHistory, fit_exponential_growth, plane_slice
-from repro.grid import Grid
+from repro.diagnostics import fit_exponential_growth, plane_slice
 from repro.linear import filamentation_growth_rate
+from repro.runtime import Driver, build, build_app
 
 DRIFT, VT = 0.6, 0.2
 BOX = 4.0
 KY = 2 * np.pi / BOX
 
 
-def _make_app(nx=4, nv=12):
-    def beams(x, y, vx, vy):
-        norm = 1.0 / (2 * np.pi * VT ** 2)
-        return norm * 0.5 * (
-            np.exp(-((vx - DRIFT) ** 2 + vy ** 2) / (2 * VT ** 2))
-            + np.exp(-((vx + DRIFT) ** 2 + vy ** 2) / (2 * VT ** 2))
-        ) * (1.0 + 0 * x)
-
-    vmax = DRIFT + 4 * VT
-    elc = Species("elc", -1.0, 1.0, Grid([-vmax] * 2, [vmax] * 2, [nv, nv]), beams)
-    return VlasovMaxwellApp(
-        conf_grid=Grid([0.0, 0.0], [BOX, BOX], [nx, nx]),
-        species=[elc],
-        field=FieldSpec(initial={"Bz": lambda x, y: 1e-5 * np.cos(KY * y)}),
-        poly_order=2,
-        family="serendipity",
-        cfl=0.8,
+def _make_spec(nx=4, nv=12, t_end=14.0):
+    """The registry's Fig. 5 scenario at benchmark-reduced resolution."""
+    return build(
+        "weibel_2x2v", drift=DRIFT, vt=VT, box=BOX, nx=nx, nv=nv, t_end=t_end
     )
 
 
 @pytest.fixture(scope="module")
 def run_result():
-    app = _make_app()
-    hist = EnergyHistory()
-    summary = app.run(14.0, diagnostics=hist)
-    return app, hist, summary
+    driver = Driver(_make_spec())
+    summary = driver.run()
+    return driver.app, driver.history, summary
 
 
 @pytest.mark.paper
@@ -113,6 +98,6 @@ def test_fig5_phase_space_structure(benchmark, run_result):
 
 @pytest.mark.paper
 def test_fig5_step_cost(benchmark):
-    app = _make_app(nx=4, nv=10)
+    app = build_app(_make_spec(nx=4, nv=10))
     dt = app.suggested_dt()
     benchmark.pedantic(app.step, args=(dt,), iterations=1, rounds=3)

@@ -3,64 +3,43 @@
 
 The "hello world" of continuum kinetics: a small density perturbation on a
 Maxwellian electron plasma launches a Langmuir oscillation whose electric
-field is collisionlessly damped by resonant particles.  The run uses the
-paper's alias-free modal DG algorithm end to end and compares the measured
-damping rate with the root of the kinetic dispersion relation.
+field is collisionlessly damped by resonant particles.  The setup comes
+from the declarative scenario registry (the same one ``python -m repro run
+landau_damping`` uses); the run uses the paper's alias-free modal DG
+algorithm end to end and compares the measured damping rate with the root
+of the kinetic dispersion relation.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import FieldSpec, Grid, Species, VlasovMaxwellApp
-from repro.diagnostics import EnergyHistory, fit_exponential_growth
+from repro.diagnostics import fit_exponential_growth
 from repro.linear import landau_damping_rate
+from repro.runtime import Driver, build
 
 
 def main():
-    k = 0.5          # wavenumber in Debye lengths
-    amp = 1e-3       # perturbation amplitude (linear regime)
-    length = 2 * np.pi / k
-
-    def initial_f(x, v):
-        return (1 + amp * np.cos(k * x)) * np.exp(-v ** 2 / 2) / np.sqrt(2 * np.pi)
-
-    def initial_ex(x):
-        # consistent with Gauss's law for the perturbed density
-        return -amp / k * np.sin(k * x)
-
-    electrons = Species(
-        name="elc",
-        charge=-1.0,
-        mass=1.0,
-        velocity_grid=Grid([-6.0], [6.0], [24]),
-        initial=initial_f,
-    )
-    app = VlasovMaxwellApp(
-        conf_grid=Grid([0.0], [length], [16]),
-        species=[electrons],
-        field=FieldSpec(initial={"Ex": initial_ex}),
-        poly_order=2,
-        family="serendipity",
-        cfl=0.6,
-    )
+    k = 0.5
+    spec = build("landau_damping", k=k, t_end=20.0)
+    driver = Driver(spec)
+    app = driver.app
 
     print(f"phase-space DOF: {app.f['elc'].size:,} "
           f"({app.solvers['elc'].num_basis} per cell)")
-    history = EnergyHistory()
-    summary = app.run(20.0, diagnostics=history)
+    summary = driver.run()
     print(f"advanced to t={summary['time']:.1f} in {summary['steps']} steps "
           f"({summary['wall_per_step']*1e3:.1f} ms/step)")
 
-    t = np.array(history.times)
-    e_field = np.array(history.field_energy)
+    t = np.array(driver.history.times)
+    e_field = np.array(driver.history.field_energy)
     fit = fit_exponential_growth(t, e_field, t_min=1.0, t_max=18.0)
     theory = landau_damping_rate(k)
     print(f"measured damping rate : {fit.rate/2:+.4f}")
     print(f"linear kinetic theory : {theory.imag:+.4f}  (omega_r = {theory.real:.4f})")
-    print(f"total energy drift    : {history.relative_drift():.2e} "
+    print(f"total energy drift    : {driver.history.relative_drift():.2e} "
           "(time-discretization only; the spatial scheme conserves exactly)")
-    n0 = app.particle_number("elc")
+    n0 = summary["particle_number"]["elc"]
     print(f"particles             : {n0:.12f} (conserved to machine precision)")
 
 

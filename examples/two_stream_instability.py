@@ -8,42 +8,30 @@ method renders the vortex noise-free — the property the paper's Fig. 5
 showcases (here in the cheaper electrostatic 1X1V setting; see
 ``weibel_beams_2x2v.py`` for the full electromagnetic analogue).
 
+The setup is the registry's ``two_stream`` scenario — equivalent to
+``python -m repro run two_stream`` — with the phase-space rendering layered
+on top of the driver's app.
+
 Run:  python examples/two_stream_instability.py
 """
 
 import numpy as np
 
-from repro import Grid, Species
-from repro.apps.vlasov_poisson import VlasovPoissonApp
 from repro.basis.modal import ModalBasis
 from repro.diagnostics import fit_exponential_growth, plane_slice
 from repro.linear import two_stream_growth_rate
+from repro.runtime import Driver, build
 
 
 def main():
     drift, vt, k = 2.0, 0.5, 0.5
-    length = 2 * np.pi / k
+    spec = build("two_stream", drift=drift, vt=vt, k=k, nv=48, t_end=40.0)
+    driver = Driver(spec)
+    driver.run()
+    app = driver.app
 
-    def beams(x, v):
-        pert = 1 + 1e-4 * np.cos(k * x)
-        norm = np.sqrt(2 * np.pi * vt ** 2)
-        return pert * 0.5 * (
-            np.exp(-((v - drift) ** 2) / (2 * vt ** 2))
-            + np.exp(-((v + drift) ** 2) / (2 * vt ** 2))
-        ) / norm
-
-    electrons = Species("elc", -1.0, 1.0, Grid([-8.0], [8.0], [48]), beams)
-    app = VlasovPoissonApp(
-        Grid([0.0], [length], [24]), [electrons], poly_order=2, cfl=0.6
-    )
-
-    times, energies = [], []
-    app.run(
-        40.0,
-        diagnostics=lambda a: (times.append(a.time), energies.append(a.field_energy())),
-    )
-    t = np.array(times)
-    e = np.array(energies)
+    t = np.array(driver.history.times)
+    e = np.array(driver.history.field_energy)
 
     fit = fit_exponential_growth(t, e, t_min=5.0, t_max=18.0)
     theory = two_stream_growth_rate(k=k, drift=drift, vt=vt)

@@ -9,9 +9,10 @@ kinetic rate, nonlinear saturation, and net energy conversion from beam
 kinetic energy to electromagnetic and thermal energy — with the phase-space
 slices (y-vy and vx-vy) that a continuum method resolves without PIC noise.
 
-Resolution is reduced from the production runs in the paper (this is a
-laptop-scale script); the physics shape — who grows, at what rate, where it
-saturates — is preserved.
+The setup is the registry's ``weibel_2x2v`` scenario (the resolution is
+reduced from the production runs in the paper — this is a laptop-scale
+script; the physics shape is preserved).  ``python -m repro campaign`` can
+scan its drift/vt/seed parameters in batch.
 
 Run:  python examples/weibel_beams_2x2v.py  [--quick]
 """
@@ -21,42 +22,10 @@ import time
 
 import numpy as np
 
-from repro import FieldSpec, Grid, Species, VlasovMaxwellApp
 from repro.basis.modal import ModalBasis
-from repro.diagnostics import EnergyHistory, fit_exponential_growth, plane_slice
+from repro.diagnostics import fit_exponential_growth, plane_slice
 from repro.linear import filamentation_growth_rate
-
-
-def build_app(nx=6, nv=14, poly_order=2, drift=0.6, vt=0.2, seed_amp=1e-5):
-    """Counter-streaming beams along x, filamentation wavevector along y."""
-    ky = 2 * np.pi / 4.0  # one filamentation wavelength across the box
-
-    def beams(x, y, vx, vy):
-        norm = 1.0 / (2 * np.pi * vt ** 2)
-        core = 0.5 * (
-            np.exp(-((vx - drift) ** 2 + vy ** 2) / (2 * vt ** 2))
-            + np.exp(-((vx + drift) ** 2 + vy ** 2) / (2 * vt ** 2))
-        )
-        return norm * core * (1.0 + 0 * x)
-
-    def seed_bz(x, y):
-        return seed_amp * np.cos(ky * y)
-
-    vmax = drift + 4 * vt
-    electrons = Species(
-        "elc", -1.0, 1.0,
-        Grid([-vmax] * 2, [vmax] * 2, [nv, nv]),
-        beams,
-    )
-    app = VlasovMaxwellApp(
-        conf_grid=Grid([0.0, 0.0], [4.0, 4.0], [nx, nx]),
-        species=[electrons],
-        field=FieldSpec(initial={"Bz": seed_bz}),
-        poly_order=poly_order,
-        family="serendipity",
-        cfl=0.8,
-    )
-    return app, ky
+from repro.runtime import Driver, build
 
 
 def render(sl, title, rows=24):
@@ -75,24 +44,30 @@ def main(argv=None):
     parser.add_argument("--quick", action="store_true", help="short demo run")
     args = parser.parse_args(argv)
 
-    app, ky = build_app(nx=4 if args.quick else 6, nv=12 if args.quick else 14)
-    drift, vt = 0.6, 0.2
+    drift, vt, box = 0.6, 0.2, 4.0
+    t_end = 14.0 if args.quick else 30.0
+    spec = build(
+        "weibel_2x2v",
+        drift=drift, vt=vt, box=box,
+        nx=4 if args.quick else 6,
+        nv=12 if args.quick else 14,
+        t_end=t_end,
+    )
+    ky = 2 * np.pi / box
+    driver = Driver(spec)
+    app = driver.app
     pg = app.phase_grids["elc"]
     basis = ModalBasis(pg.pdim, app.poly_order, app.family)
 
     print(f"2X2V grid {pg.cells}, {app.solvers['elc'].num_basis} DOF/cell "
           f"({app.f['elc'].size:,} total)")
 
-    history = EnergyHistory()
-    t_end = 14.0 if args.quick else 30.0
-    snaps = {}
-    snaps[0.0] = app.f["elc"].copy()
     start = time.time()
-    summary = app.run(t_end, diagnostics=history)
-    snaps[app.time] = app.f["elc"].copy()
+    summary = driver.run()
     print(f"{summary['steps']} steps in {time.time()-start:.0f}s "
           f"({summary['wall_per_step']*1e3:.0f} ms/step)")
 
+    history = driver.history
     t = np.array(history.times)
     e_field = np.array(history.field_energy)
     e_part = np.array(history.particle_energy["elc"])
@@ -106,7 +81,7 @@ def main(argv=None):
     print(f"total-energy drift: {history.relative_drift():.2e}")
 
     # Fig. 5 style slices at the end state
-    f_end = snaps[app.time]
+    f_end = app.f["elc"]
     cdim = pg.cdim
     render(
         plane_slice(f_end, pg, basis, axes=(1, cdim + 1), fixed={}, resolution=48),

@@ -41,6 +41,7 @@ from .grid.phase import PhaseGrid
 from .kernels.registry import get_vlasov_kernels
 from .moments.calc import MomentCalculator, integrate_conf_field
 from .projection import project_on_grid, project_phase_function
+from .runtime import CampaignSpec, Driver, SimulationSpec
 from .vlasov.modal_solver import VlasovModalSolver
 from .vlasov.quadrature_solver import VlasovQuadratureSolver
 
@@ -69,5 +70,8 @@ __all__ = [
     "get_vlasov_kernels",
     "project_on_grid",
     "project_phase_function",
+    "SimulationSpec",
+    "Driver",
+    "CampaignSpec",
     "__version__",
 ]

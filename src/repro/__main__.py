@@ -1,0 +1,6 @@
+"""``python -m repro`` — the declarative runtime CLI."""
+
+from .runtime.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,18 @@ PathLike = Union[str, Path]
 
 
 def save_checkpoint(path: PathLike, state: Dict[str, np.ndarray], meta: Dict) -> None:
-    """Write a checkpoint; ``meta`` must be JSON-serializable."""
+    """Write a checkpoint; ``meta`` must be JSON-serializable.
+
+    State keys are stored losslessly: arrays go in under positional names
+    (``state_0``, ``state_1``, ...) and the true keys travel in a JSON
+    manifest, so keys containing ``/`` or ``__`` round-trip exactly.
+    """
     path = Path(path)
-    payload = {f"state/{k}".replace("/", "__"): v for k, v in state.items()}
+    keys = list(state)
+    payload = {f"state_{i}": state[k] for i, k in enumerate(keys)}
+    payload["state_keys_json"] = np.frombuffer(
+        json.dumps(keys).encode(), dtype=np.uint8
+    )
     payload["meta_json"] = np.frombuffer(
         json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
     )
@@ -31,15 +40,25 @@ def save_checkpoint(path: PathLike, state: Dict[str, np.ndarray], meta: Dict) ->
 
 
 def load_checkpoint(path: PathLike):
-    """Read back ``(state, meta)`` from :func:`save_checkpoint`."""
+    """Read back ``(state, meta)`` from :func:`save_checkpoint`.
+
+    Checkpoints written before the key manifest existed (array names munged
+    as ``state__<key with / replaced by __>``) still load, with the caveat
+    that their keys containing literal ``__`` were never recoverable.
+    """
     with np.load(Path(path)) as data:
         meta = json.loads(bytes(data["meta_json"]).decode())
         state = {}
-        for key in data.files:
-            if key == "meta_json":
-                continue
-            name = key[len("state__"):].replace("__", "/")
-            state[name] = data[key]
+        if "state_keys_json" in data.files:
+            keys = json.loads(bytes(data["state_keys_json"]).decode())
+            for i, name in enumerate(keys):
+                state[name] = data[f"state_{i}"]
+        else:  # legacy munged-key format
+            for key in data.files:
+                if key == "meta_json":
+                    continue
+                name = key[len("state__"):].replace("__", "/")
+                state[name] = data[key]
     return state, meta
 
 

@@ -1,0 +1,233 @@
+"""Batch campaign runner: parameter scans over scenario overrides.
+
+A campaign is a JSON file naming a scenario, a set of base overrides, and a
+scan — either a ``scan`` object (grid product over per-key value lists) or
+an explicit ``points`` list.  Points execute through a process pool (or
+serially for ``workers <= 1``), each in its own subdirectory, and a
+``manifest.json`` records per-point status and results after every
+completion.  Rerunning an interrupted campaign reads the manifest and skips
+every point already marked done — the batch-scan idiom of the related
+config-driven solver tooling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+from .driver import Driver
+from .errors import SpecError
+from .scenarios import build
+from .spec import _reject_unknown
+
+__all__ = ["CampaignSpec", "expand_points", "run_campaign", "load_manifest"]
+
+PathLike = Union[str, Path]
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative parameter-scan description."""
+
+    scenario: str
+    name: str = "campaign"
+    base: Dict[str, object] = field(default_factory=dict)
+    scan: Dict[str, List[object]] = field(default_factory=dict)
+    points: Optional[List[Dict[str, object]]] = None
+    workers: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "scenario": self.scenario,
+            "base": dict(self.base),
+            "scan": {k: list(v) for k, v in self.scan.items()},
+            "points": None if self.points is None else [dict(p) for p in self.points],
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping, path: str = "campaign") -> "CampaignSpec":
+        _reject_unknown(data, path, ("name", "scenario", "base", "scan", "points", "workers"))
+        if "scenario" not in data:
+            raise SpecError(f"{path}.scenario", "missing required field")
+        scan = data.get("scan", {})
+        if not isinstance(scan, Mapping):
+            raise SpecError(f"{path}.scan", f"expected an object, got {scan!r}")
+        for key, vals in scan.items():
+            if not isinstance(vals, (list, tuple)) or not vals:
+                raise SpecError(
+                    f"{path}.scan.{key}", f"expected a non-empty list of values, got {vals!r}"
+                )
+        points = data.get("points")
+        if points is not None:
+            if not isinstance(points, (list, tuple)):
+                raise SpecError(f"{path}.points", f"expected a list, got {points!r}")
+            for i, p in enumerate(points):
+                if not isinstance(p, Mapping):
+                    raise SpecError(f"{path}.points[{i}]", f"expected an object, got {p!r}")
+        base = data.get("base", {})
+        if not isinstance(base, Mapping):
+            raise SpecError(f"{path}.base", f"expected an object, got {base!r}")
+        workers = data.get("workers", 1)
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise SpecError(f"{path}.workers", f"expected a positive integer, got {workers!r}")
+        return cls(
+            scenario=data["scenario"],
+            name=data.get("name", "campaign"),
+            base=dict(base),
+            scan={k: list(v) for k, v in scan.items()},
+            points=None if points is None else [dict(p) for p in points],
+            workers=workers,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError("campaign", f"invalid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: PathLike) -> "CampaignSpec":
+        return cls.from_json(Path(path).read_text())
+
+
+def expand_points(campaign: CampaignSpec) -> List[Dict[str, object]]:
+    """Enumerate override dicts: base ∪ (scan grid product or explicit points)."""
+    if campaign.points is not None:
+        variations: List[Dict[str, object]] = [dict(p) for p in campaign.points]
+    elif campaign.scan:
+        keys = list(campaign.scan)
+        variations = [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(campaign.scan[k] for k in keys))
+        ]
+    else:
+        variations = [{}]
+    return [{**campaign.base, **var} for var in variations]
+
+
+def _run_point(scenario: str, overrides: Dict[str, object], point_dir: str) -> Dict:
+    """Execute one scan point (top-level so it pickles into worker processes)."""
+    spec = build(scenario, **overrides)
+    driver = Driver(spec, outdir=point_dir)
+    result = driver.run()
+    Path(point_dir, "result.json").write_text(json.dumps(result, indent=2))
+    return result
+
+
+def _write_manifest(path: Path, manifest: dict) -> None:
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2))
+    os.replace(tmp, path)
+
+
+def load_manifest(outdir: PathLike) -> Optional[dict]:
+    path = Path(outdir) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    outdir: PathLike,
+    workers: Optional[int] = None,
+    progress=None,
+) -> dict:
+    """Run (or resume) a campaign; returns the final manifest.
+
+    The manifest carries one entry per point (id, overrides, status, result)
+    and is rewritten atomically after every completion, so a killed campaign
+    resumes by rerunning only the points not yet marked ``"done"``.  A point
+    whose stored overrides no longer match the campaign file is re-executed.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    workers = campaign.workers if workers is None else workers
+    points = expand_points(campaign)
+    ids = [f"p{i:04d}" for i in range(len(points))]
+
+    previous = load_manifest(outdir) or {"points": {}}
+    manifest = {
+        "name": campaign.name,
+        "campaign": campaign.to_dict(),
+        "points": {},
+    }
+    pending = []
+    skipped = 0
+    for pid, overrides in zip(ids, points):
+        old = previous.get("points", {}).get(pid)
+        if old and old.get("status") == "done" and old.get("overrides") == overrides:
+            manifest["points"][pid] = old
+            skipped += 1
+        else:
+            manifest["points"][pid] = {
+                "overrides": overrides,
+                "status": "pending",
+                "result": None,
+            }
+            pending.append(pid)
+    manifest_path = outdir / MANIFEST_NAME
+    _write_manifest(manifest_path, manifest)
+
+    def finish(pid: str, result: Optional[dict], error: Optional[str]) -> None:
+        entry = manifest["points"][pid]
+        entry["status"] = "done" if error is None else "failed"
+        entry["result"] = result
+        if error is not None:
+            entry["error"] = error
+        _write_manifest(manifest_path, manifest)
+        if progress is not None:
+            progress(pid, entry)
+
+    if workers <= 1:
+        for pid in pending:
+            try:
+                result = _run_point(
+                    campaign.scenario,
+                    manifest["points"][pid]["overrides"],
+                    str(outdir / pid),
+                )
+                finish(pid, result, None)
+            except Exception as exc:  # noqa: BLE001 - recorded per point
+                finish(pid, None, f"{type(exc).__name__}: {exc}")
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _run_point,
+                    campaign.scenario,
+                    manifest["points"][pid]["overrides"],
+                    str(outdir / pid),
+                ): pid
+                for pid in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    pid = futures[fut]
+                    try:
+                        finish(pid, fut.result(), None)
+                    except Exception as exc:  # noqa: BLE001
+                        finish(pid, None, f"{type(exc).__name__}: {exc}")
+
+    manifest["summary"] = {
+        "total": len(points),
+        "ran": len(pending),
+        "skipped": skipped,
+        "failed": sum(
+            1 for e in manifest["points"].values() if e["status"] == "failed"
+        ),
+    }
+    _write_manifest(manifest_path, manifest)
+    return manifest

@@ -1,0 +1,184 @@
+"""Command-line entry point: ``python -m repro`` / the ``repro`` script.
+
+Subcommands::
+
+    repro list                         # catalogue of registered scenarios
+    repro show <scenario>              # the scenario's spec as JSON
+    repro run <scenario> [--set k=v]   # build + run one simulation
+    repro resume <checkpoint.npz>      # continue an interrupted run
+    repro campaign <file.json>         # parameter-scan batch runner
+
+``--set key=val`` accepts scenario parameters (``drift=1.5``), spec fields
+(``cfl=0.5``, ``steps=10``) and dotted spec paths
+(``species.elc.initial.vt=0.4``); values parse as JSON with a plain-string
+fallback, so ``--set cells=[8,8]`` and ``--set family=serendipity`` both work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from .campaign import CampaignSpec, run_campaign
+from .driver import Driver
+from .errors import SpecError
+from .scenarios import build, get_scenario, list_scenarios
+
+__all__ = ["main"]
+
+
+def _parse_set(pairs: List[str]) -> Dict[str, object]:
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SpecError("--set", f"expected key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        if not key:
+            raise SpecError("--set", f"empty key in {pair!r}")
+        try:
+            overrides[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[key] = raw
+    return overrides
+
+
+def _print_summary(result: Dict[str, object], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(result, indent=2))
+        return
+    print(f"scenario      : {result['scenario']}")
+    print(f"status        : {result['status']}")
+    print(f"steps         : {result['steps']}")
+    print(f"final time    : {result['time']:.6g}")
+    print(f"field energy  : {result['field_energy']:.6e}")
+    print(f"total energy  : {result['total_energy']:.6e}")
+    if "energy_drift" in result:
+        print(f"energy drift  : {result['energy_drift']:.3e}")
+    print(f"wall/step     : {1e3 * result['wall_per_step']:.2f} ms")
+
+
+def _cmd_list(args) -> int:
+    scenarios = list_scenarios()
+    width = max(len(sc.name) for sc in scenarios)
+    for sc in scenarios:
+        print(f"{sc.name:<{width}}  {sc.description}")
+        if args.verbose:
+            for key, default in sc.params.items():
+                print(f"{'':<{width}}    {key} = {default}")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    spec = build(args.scenario, **_parse_set(args.set))
+    print(spec.to_json())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = build(args.scenario, **_parse_set(args.set))
+    driver = Driver(spec, outdir=args.outdir, wall_clock_budget=args.budget)
+    result = driver.run()
+    _print_summary(result, args.json)
+    if driver.checkpoint_path is not None and not args.json:
+        print(f"checkpoint    : {driver.checkpoint_path}")
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    driver = Driver.from_checkpoint(
+        args.checkpoint,
+        outdir=args.outdir,
+        wall_clock_budget=args.budget,
+        overrides=_parse_set(args.set),
+    )
+    result = driver.run()
+    _print_summary(result, args.json)
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    campaign = CampaignSpec.from_file(args.file)
+    outdir = args.outdir or f"{campaign.name}_out"
+
+    def progress(pid, entry):
+        status = entry["status"]
+        detail = entry.get("error", "")
+        if status == "done" and entry["result"]:
+            detail = f"t={entry['result']['time']:.4g} steps={entry['result']['steps']}"
+        print(f"[{pid}] {status} {detail}")
+
+    manifest = run_campaign(campaign, outdir, workers=args.workers, progress=progress)
+    summary = manifest["summary"]
+    print(
+        f"campaign {campaign.name!r}: {summary['total']} points — "
+        f"{summary['ran']} ran, {summary['skipped']} skipped, "
+        f"{summary['failed']} failed (manifest: {outdir}/manifest.json)"
+    )
+    return 1 if summary["failed"] else 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative runtime for the alias-free modal DG kinetic solver.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("-v", "--verbose", action="store_true", help="show parameters")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_show = sub.add_parser("show", help="print a scenario's spec as JSON")
+    p_show.add_argument("scenario")
+    p_show.add_argument("--set", action="append", default=[], metavar="KEY=VAL")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_run = sub.add_parser("run", help="run one scenario")
+    p_run.add_argument("scenario")
+    p_run.add_argument("--set", action="append", default=[], metavar="KEY=VAL")
+    p_run.add_argument("--outdir", default=None, help="output/checkpoint directory")
+    p_run.add_argument("--budget", type=float, default=None, help="wall-clock budget [s]")
+    p_run.add_argument("--json", action="store_true", help="print the summary as JSON")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_resume = sub.add_parser("resume", help="resume from a checkpoint")
+    p_resume.add_argument("checkpoint")
+    p_resume.add_argument("--set", action="append", default=[], metavar="KEY=VAL")
+    p_resume.add_argument("--outdir", default=None)
+    p_resume.add_argument("--budget", type=float, default=None)
+    p_resume.add_argument("--json", action="store_true")
+    p_resume.set_defaults(func=_cmd_resume)
+
+    p_camp = sub.add_parser("campaign", help="run a parameter-scan campaign")
+    p_camp.add_argument("file", help="campaign JSON file")
+    p_camp.add_argument("--outdir", default=None)
+    p_camp.add_argument("--workers", type=int, default=None)
+    p_camp.set_defaults(func=_cmd_campaign)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # the reader went away (e.g. `repro list | head`); exit quietly
+        # instead of tracebacking, and stop Python's shutdown flush from
+        # printing a secondary error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

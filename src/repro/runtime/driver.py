@@ -1,0 +1,276 @@
+"""The simulation driver: compiles a spec into an App and runs it.
+
+This is the runtime's counterpart of Gkeyll's App layer: given a
+:class:`~repro.runtime.spec.SimulationSpec` it instantiates the right solver
+stack (Vlasov–Poisson vs Vlasov–Maxwell, modal vs quadrature), projects the
+declarative initial conditions, then advances the system with scheduled
+energy diagnostics, periodic checkpoints, and an optional wall-clock budget.
+A run interrupted by the budget (or a kill) resumes bit-for-bit from its
+latest checkpoint via :meth:`Driver.from_checkpoint` — the checkpoint embeds
+the full spec, so resuming needs nothing but the ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from ..apps.vlasov_maxwell import FieldSpec, Species, VlasovMaxwellApp
+from ..apps.vlasov_poisson import VlasovPoissonApp
+from ..diagnostics.energy import EnergyHistory
+from ..grid.phase import PhaseGrid
+from ..io.checkpoint import load_checkpoint, save_checkpoint
+from .errors import SpecError
+from .profiles import build_conf_profile, build_phase_profile
+from .spec import SimulationSpec
+
+__all__ = ["Driver", "build_app"]
+
+PathLike = Union[str, Path]
+_HISTORY_PREFIX = "history/"
+
+
+def _build_collisions(coll_spec, phase_grid: PhaseGrid, spec: SimulationSpec):
+    if coll_spec.kind == "lbo":
+        from ..collisions.lbo import LBOCollisions
+
+        return LBOCollisions(phase_grid, spec.poly_order, spec.family, nu=coll_spec.nu)
+    from ..collisions.bgk import BGKCollisions
+
+    return BGKCollisions(phase_grid, spec.poly_order, spec.family, nu=coll_spec.nu)
+
+
+def build_app(spec: SimulationSpec):
+    """Instantiate the App described by ``spec`` (ICs projected, t=0)."""
+    spec = spec.validate()
+    conf_grid = spec.conf_grid.build()
+    cdim = conf_grid.ndim
+
+    species = []
+    for sp in spec.species:
+        vel_grid = sp.velocity_grid.build()
+        initial = build_phase_profile(
+            sp.initial, cdim, vel_grid.ndim, f"species[{sp.name}].initial"
+        )
+        collisions = None
+        if sp.collisions is not None:
+            collisions = _build_collisions(
+                sp.collisions, PhaseGrid(conf_grid, vel_grid), spec
+            )
+        species.append(
+            Species(sp.name, sp.charge, sp.mass, vel_grid, initial, collisions)
+        )
+
+    if spec.model == "poisson":
+        return VlasovPoissonApp(
+            conf_grid,
+            species,
+            poly_order=spec.poly_order,
+            family=spec.family,
+            cfl=spec.cfl,
+            stepper=spec.stepper,
+            epsilon0=spec.epsilon0,
+            neutralize=spec.neutralize,
+        )
+
+    field = None
+    if spec.field is not None:
+        fs = spec.field
+        field = FieldSpec(
+            initial={
+                comp: build_conf_profile(prof, cdim, f"field.initial.{comp}")
+                for comp, prof in fs.initial.items()
+            },
+            light_speed=fs.light_speed,
+            epsilon0=fs.epsilon0,
+            flux=fs.flux,
+            chi_e=fs.chi_e,
+            chi_m=fs.chi_m,
+            evolve=fs.evolve,
+        )
+    return VlasovMaxwellApp(
+        conf_grid,
+        species,
+        field=field,
+        poly_order=spec.poly_order,
+        family=spec.family,
+        cfl=spec.cfl,
+        scheme=spec.scheme,
+        stepper=spec.stepper,
+    )
+
+
+class Driver:
+    """Runs one spec to completion with diagnostics, checkpoints, budgets.
+
+    Parameters
+    ----------
+    spec:
+        The simulation description.
+    outdir:
+        Output directory; when set, checkpoints default to
+        ``outdir/checkpoint.npz`` and :meth:`run` drops a final checkpoint
+        there even if periodic checkpointing is off.
+    wall_clock_budget:
+        Optional wall-clock limit in seconds; the run stops cleanly (with a
+        checkpoint, when a path is configured) once exceeded.
+    """
+
+    def __init__(
+        self,
+        spec: SimulationSpec,
+        outdir: Optional[PathLike] = None,
+        wall_clock_budget: Optional[float] = None,
+    ):
+        self.spec = spec.validate()
+        self.outdir = Path(outdir) if outdir is not None else None
+        self.wall_clock_budget = wall_clock_budget
+        self.app = build_app(self.spec)
+        self.history = EnergyHistory(record_jdote=spec.diagnostics.record_jdote)
+        self.wall_time = 0.0
+        if self.outdir is not None:
+            self.outdir.mkdir(parents=True, exist_ok=True)
+        if spec.diagnostics.checkpoint_interval and self.checkpoint_path is None:
+            raise SpecError(
+                "spec.diagnostics.checkpoint_path",
+                "checkpoint_interval is set but there is nowhere to write: "
+                "set checkpoint_path, or give the Driver an outdir",
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def checkpoint_path(self) -> Optional[Path]:
+        if self.spec.diagnostics.checkpoint_path is not None:
+            return Path(self.spec.diagnostics.checkpoint_path)
+        if self.outdir is not None:
+            return self.outdir / "checkpoint.npz"
+        return None
+
+    def checkpoint(self, path: Optional[PathLike] = None) -> Path:
+        """Write a self-describing checkpoint (state + history + spec)."""
+        path = Path(path) if path is not None else self.checkpoint_path
+        if path is None:
+            raise SpecError(
+                "spec.diagnostics.checkpoint_path",
+                "no checkpoint path: set it, or give the Driver an outdir",
+            )
+        state = dict(self.app.state())
+        if self.history.times:
+            state[_HISTORY_PREFIX + "times"] = np.asarray(self.history.times)
+            state[_HISTORY_PREFIX + "field_energy"] = np.asarray(
+                self.history.field_energy
+            )
+            for name, vals in self.history.particle_energy.items():
+                state[_HISTORY_PREFIX + f"particle_energy/{name}"] = np.asarray(vals)
+            if self.history.record_jdote:
+                state[_HISTORY_PREFIX + "jdote"] = np.asarray(self.history.jdote)
+        meta = {
+            "spec": self.spec.to_dict(),
+            "time": self.app.time,
+            "step_count": self.app.step_count,
+            "wall_time": self.wall_time,
+        }
+        save_checkpoint(path, state, meta)
+        return path
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: PathLike,
+        outdir: Optional[PathLike] = None,
+        wall_clock_budget: Optional[float] = None,
+        overrides: Optional[Mapping[str, object]] = None,
+    ) -> "Driver":
+        """Rebuild a driver from a checkpoint and continue where it left off.
+
+        ``overrides`` are dotted-path spec overrides applied before the app
+        is rebuilt — raising ``steps`` or ``t_end`` lets a finished segment
+        continue further.  Overrides that change the discretization will
+        (rightly) fail when the stored state no longer fits the new app.
+        """
+        state, meta = load_checkpoint(path)
+        spec = SimulationSpec.from_dict(meta["spec"])
+        if overrides:
+            spec = spec.with_overrides(overrides)
+        drv = cls(spec, outdir=outdir, wall_clock_budget=wall_clock_budget)
+        app_state = {
+            k: np.array(v) for k, v in state.items() if not k.startswith(_HISTORY_PREFIX)
+        }
+        drv.app.set_state(app_state)
+        drv.app.time = float(meta["time"])
+        drv.app.step_count = int(meta["step_count"])
+        drv.wall_time = float(meta.get("wall_time", 0.0))
+        times = state.get(_HISTORY_PREFIX + "times")
+        if times is not None:
+            drv.history.times = list(times)
+            drv.history.field_energy = list(state[_HISTORY_PREFIX + "field_energy"])
+            for key, vals in state.items():
+                pe_prefix = _HISTORY_PREFIX + "particle_energy/"
+                if key.startswith(pe_prefix):
+                    drv.history.particle_energy[key[len(pe_prefix):]] = list(vals)
+            if drv.history.record_jdote:
+                drv.history.jdote = list(state.get(_HISTORY_PREFIX + "jdote", []))
+        return drv
+
+    # ------------------------------------------------------------------ #
+    def _record(self) -> None:
+        if self.spec.diagnostics.energy_interval:
+            self.history(self.app)
+
+    def run(self, t_end: Optional[float] = None) -> Dict[str, object]:
+        """Advance to ``t_end`` (default: the spec's) or the step cap.
+
+        Returns a JSON-serializable summary.  ``status`` is ``"complete"``,
+        ``"max_steps"`` (step cap hit first) or ``"budget_exhausted"``
+        (wall-clock budget hit; a checkpoint is written when configured).
+        """
+        app = self.app
+        diag = self.spec.diagnostics
+        t_end = self.spec.t_end if t_end is None else float(t_end)
+        max_steps = self.spec.steps if self.spec.steps is not None else 10**9
+        start = time.perf_counter()
+        status = "complete"
+        if not self.history.times and app.step_count == 0:
+            self._record()
+        while app.time < t_end - 1e-12 and app.step_count < max_steps:
+            if (
+                self.wall_clock_budget is not None
+                and time.perf_counter() - start > self.wall_clock_budget
+            ):
+                status = "budget_exhausted"
+                break
+            dt = min(app.suggested_dt(), t_end - app.time)
+            app.step(dt)
+            if diag.energy_interval and app.step_count % diag.energy_interval == 0:
+                self._record()
+            if diag.checkpoint_interval and app.step_count % diag.checkpoint_interval == 0:
+                self.checkpoint()
+        else:
+            if app.time < t_end - 1e-12:
+                status = "max_steps"
+        self.wall_time += time.perf_counter() - start
+        if self.checkpoint_path is not None:
+            self.checkpoint()
+        return self.summary(status)
+
+    def summary(self, status: str = "complete") -> Dict[str, object]:
+        app = self.app
+        out: Dict[str, object] = {
+            "scenario": self.spec.name,
+            "status": status,
+            "time": app.time,
+            "steps": app.step_count,
+            "wall_time": self.wall_time,
+            "wall_per_step": self.wall_time / max(app.step_count, 1),
+            "field_energy": app.field_energy(),
+            "total_energy": app.total_energy(),
+            "particle_number": {
+                sp.name: app.particle_number(sp.name) for sp in app.species
+            },
+        }
+        if self.history.times:
+            out["energy_drift"] = self.history.relative_drift()
+        return out

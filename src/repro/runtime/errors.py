@@ -1,0 +1,17 @@
+"""Runtime-layer error types."""
+
+from __future__ import annotations
+
+__all__ = ["SpecError"]
+
+
+class SpecError(ValueError):
+    """A declarative spec is invalid.
+
+    Always names the offending field (dotted path into the spec dict, e.g.
+    ``species[0].initial.kind``) so errors from JSON inputs are actionable.
+    """
+
+    def __init__(self, field: str, message: str):
+        self.field = field
+        super().__init__(f"{field}: {message}")

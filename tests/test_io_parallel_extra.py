@@ -16,6 +16,36 @@ def test_checkpoint_nested_keys(tmp_path):
     assert meta == {"a": 1}
 
 
+def test_checkpoint_keys_with_underscores_roundtrip(tmp_path):
+    """Regression: the old '/' -> '__' munging destroyed keys containing
+    literal '__' (or mixes of both); the key manifest stores them losslessly."""
+    state = {
+        "f/ion__fast": np.arange(4.0),
+        "f/ion/fast": np.arange(3.0),
+        "a__b": np.eye(2),
+        "state__tricky": np.ones(2),
+        "plain": np.zeros(1),
+    }
+    save_checkpoint(tmp_path / "u.npz", state, {})
+    back, _ = load_checkpoint(tmp_path / "u.npz")
+    assert set(back) == set(state)
+    assert checkpoint_roundtrip_equal(state, back)
+
+
+def test_checkpoint_legacy_munged_format_still_loads(tmp_path):
+    """Checkpoints written before the key manifest (munged array names)."""
+    import json
+
+    payload = {
+        "state__f__elc": np.arange(5.0),
+        "meta_json": np.frombuffer(json.dumps({"time": 2.0}).encode(), dtype=np.uint8),
+    }
+    np.savez_compressed(tmp_path / "legacy.npz", **payload)
+    state, meta = load_checkpoint(tmp_path / "legacy.npz")
+    assert meta == {"time": 2.0}
+    assert np.array_equal(state["f/elc"], np.arange(5.0))
+
+
 def test_checkpoint_roundtrip_equal_detects_mismatch():
     a = {"x": np.ones(3)}
     assert not checkpoint_roundtrip_equal(a, {"y": np.ones(3)})

@@ -1,0 +1,110 @@
+"""Campaign runner: scan expansion, manifest resume/skip, worker pool."""
+
+import json
+
+import pytest
+
+from repro.runtime import CampaignSpec, SpecError, expand_points, run_campaign
+from repro.runtime.campaign import load_manifest
+
+TINY = {"nx": 4, "nv": 8, "steps": 1, "t_end": 100.0}
+
+
+def _campaign(**kwargs):
+    data = {
+        "name": "ts_scan",
+        "scenario": "two_stream",
+        "base": dict(TINY),
+        "scan": {"drift": [1.5, 2.0], "vt": [0.4, 0.5]},
+    }
+    data.update(kwargs)
+    return CampaignSpec.from_dict(data)
+
+
+def test_expand_points_grid_product():
+    points = expand_points(_campaign())
+    assert len(points) == 4
+    assert {(p["drift"], p["vt"]) for p in points} == {
+        (1.5, 0.4), (1.5, 0.5), (2.0, 0.4), (2.0, 0.5),
+    }
+    assert all(p["nx"] == 4 for p in points)  # base merged into every point
+
+
+def test_expand_explicit_points_override_base():
+    camp = _campaign(scan={}, points=[{"drift": 1.0}, {"nx": 6}])
+    points = expand_points(camp)
+    assert len(points) == 2
+    assert points[0]["drift"] == 1.0 and points[0]["nx"] == 4
+    assert points[1]["nx"] == 6
+
+
+def test_campaign_spec_validation_errors():
+    with pytest.raises(SpecError) as err:
+        CampaignSpec.from_dict({"name": "x"})
+    assert err.value.field == "campaign.scenario"
+    with pytest.raises(SpecError) as err:
+        CampaignSpec.from_dict({"scenario": "two_stream", "scan": {"drift": []}})
+    assert err.value.field == "campaign.scan.drift"
+    with pytest.raises(SpecError) as err:
+        CampaignSpec.from_dict({"scenario": "two_stream", "workers": 0})
+    assert err.value.field == "campaign.workers"
+
+
+def test_campaign_runs_and_rerun_skips_completed(tmp_path):
+    camp = _campaign()
+    outdir = tmp_path / "camp"
+
+    first = run_campaign(camp, outdir)
+    assert first["summary"] == {"total": 4, "ran": 4, "skipped": 0, "failed": 0}
+    for pid, entry in first["points"].items():
+        assert entry["status"] == "done"
+        assert entry["result"]["steps"] == 1
+        assert (outdir / pid / "result.json").exists()
+        assert (outdir / pid / "checkpoint.npz").exists()
+
+    # rerun: the manifest marks every point done -> all skipped
+    second = run_campaign(camp, outdir)
+    assert second["summary"] == {"total": 4, "ran": 0, "skipped": 4, "failed": 0}
+
+
+def test_changed_overrides_invalidate_manifest_entries(tmp_path):
+    outdir = tmp_path / "camp"
+    run_campaign(_campaign(), outdir)
+    changed = _campaign(scan={"drift": [1.5, 2.5], "vt": [0.4, 0.5]})
+    manifest = run_campaign(changed, outdir)
+    # the two drift=1.5 points are unchanged, the drift=2.5 pair is new work
+    assert manifest["summary"]["skipped"] == 2
+    assert manifest["summary"]["ran"] == 2
+
+
+def test_interrupted_campaign_resumes_from_manifest(tmp_path):
+    """Simulate a kill after two points by truncating the manifest."""
+    camp = _campaign()
+    outdir = tmp_path / "camp"
+    run_campaign(camp, outdir)
+    manifest = load_manifest(outdir)
+    for pid in list(manifest["points"])[2:]:
+        manifest["points"][pid]["status"] = "pending"
+    (outdir / "manifest.json").write_text(json.dumps(manifest))
+
+    resumed = run_campaign(camp, outdir)
+    assert resumed["summary"]["skipped"] == 2
+    assert resumed["summary"]["ran"] == 2
+    assert all(e["status"] == "done" for e in resumed["points"].values())
+
+
+def test_failed_point_is_recorded_not_fatal(tmp_path):
+    camp = _campaign(points=[dict(TINY), {**TINY, "poly_order": 0}])
+    manifest = run_campaign(camp, tmp_path / "camp")
+    statuses = [e["status"] for e in manifest["points"].values()]
+    assert statuses == ["done", "failed"]
+    assert "poly_order" in manifest["points"]["p0001"]["error"]
+    assert manifest["summary"]["failed"] == 1
+
+
+def test_campaign_with_process_pool(tmp_path):
+    camp = _campaign(scan={"drift": [1.5, 2.0]}, workers=2)
+    manifest = run_campaign(camp, tmp_path / "camp")
+    assert manifest["summary"] == {"total": 2, "ran": 2, "skipped": 0, "failed": 0}
+    rerun = run_campaign(camp, tmp_path / "camp")
+    assert rerun["summary"]["skipped"] == 2

@@ -1,0 +1,97 @@
+"""CLI: list/show/run/resume/campaign subcommands end to end."""
+
+import json
+
+import pytest
+
+from repro.runtime.cli import main
+
+
+def test_list_shows_all_scenarios(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "landau_damping", "two_stream", "weibel_2x2v",
+        "bump_on_tail", "collisional_relaxation", "free_streaming",
+    ):
+        assert name in out
+
+
+def test_list_verbose_shows_params(capsys):
+    assert main(["list", "--verbose"]) == 0
+    assert "drift" in capsys.readouterr().out
+
+
+def test_show_emits_valid_spec_json(capsys):
+    assert main(["show", "two_stream", "--set", "drift=1.5"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["species"][0]["initial"]["drift"] == 1.5
+
+
+def test_run_with_overrides(capsys, tmp_path):
+    code = main([
+        "run", "two_stream",
+        "--set", "steps=2", "--set", "nx=4", "--set", "nv=8",
+        "--outdir", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "status        : max_steps" in out
+    assert (tmp_path / "checkpoint.npz").exists()
+
+
+def test_run_json_output(capsys):
+    code = main([
+        "run", "free_streaming", "--set", "steps=1",
+        "--set", "nx=4", "--set", "nv=8", "--json",
+    ])
+    assert code == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["steps"] == 1 and result["status"] == "max_steps"
+
+
+def test_resume_continues_from_checkpoint(capsys, tmp_path):
+    assert main([
+        "run", "two_stream",
+        "--set", "steps=2", "--set", "nx=4", "--set", "nv=8",
+        "--set", "t_end=100.0", "--outdir", str(tmp_path), "--json",
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "resume", str(tmp_path / "checkpoint.npz"), "--set", "steps=4", "--json",
+    ]) == 0
+    result = json.loads(capsys.readouterr().out)
+    assert result["steps"] == 4
+
+
+def test_campaign_subcommand(capsys, tmp_path):
+    camp = {
+        "name": "clitest",
+        "scenario": "two_stream",
+        "base": {"nx": 4, "nv": 8, "steps": 1, "t_end": 100.0},
+        "scan": {"drift": [1.5, 2.0]},
+    }
+    path = tmp_path / "camp.json"
+    path.write_text(json.dumps(camp))
+    outdir = tmp_path / "out"
+    assert main(["campaign", str(path), "--outdir", str(outdir)]) == 0
+    out = capsys.readouterr().out
+    assert "2 ran, 0 skipped" in out
+    assert (outdir / "manifest.json").exists()
+    assert main(["campaign", str(path), "--outdir", str(outdir)]) == 0
+    assert "0 ran, 2 skipped" in capsys.readouterr().out
+
+
+def test_unknown_scenario_is_a_clean_error(capsys):
+    assert main(["run", "tokamak"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_bad_set_syntax_is_a_clean_error(capsys):
+    assert main(["run", "two_stream", "--set", "steps"]) == 2
+    assert "key=value" in capsys.readouterr().err
+
+
+def test_missing_campaign_file_is_a_clean_error(capsys, tmp_path):
+    assert main(["campaign", str(tmp_path / "nope.json")]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,151 @@
+"""Driver: app building, scheduled diagnostics, checkpoint-resume equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.apps.vlasov_maxwell import VlasovMaxwellApp
+from repro.apps.vlasov_poisson import VlasovPoissonApp
+from repro.collisions import BGKCollisions, LBOCollisions
+from repro.runtime import Driver, SpecError, build, build_app
+
+
+def test_build_app_selects_model():
+    assert isinstance(build_app(build("two_stream", nx=4, nv=8)), VlasovPoissonApp)
+    assert isinstance(build_app(build("landau_damping", nx=4, nv=8)), VlasovMaxwellApp)
+
+
+def test_build_app_quadrature_scheme():
+    app = build_app(build("landau_damping", nx=4, nv=8, scheme="quadrature"))
+    assert app.scheme == "quadrature"
+
+
+def test_build_app_wires_collisions():
+    app = build_app(build("collisional_relaxation", nv=8))
+    assert isinstance(app.species[0].collisions, LBOCollisions)
+    app = build_app(build("collisional_relaxation", nv=8, operator="bgk"))
+    assert isinstance(app.species[0].collisions, BGKCollisions)
+    assert app.species[0].collisions.nu == pytest.approx(0.8)
+
+
+def test_declarative_ic_matches_hand_wired(tmp_path):
+    """The registry's landau spec reproduces the hand-written quickstart IC."""
+    spec = build("landau_damping", k=0.5, amp=1e-3, nx=4, nv=8)
+    app = build_app(spec)
+
+    from repro import FieldSpec, Grid, Species
+
+    def initial_f(x, v):
+        return (1 + 1e-3 * np.cos(0.5 * x)) * np.exp(-(v**2) / 2) / np.sqrt(2 * np.pi)
+
+    hand = VlasovMaxwellApp(
+        conf_grid=Grid([0.0], [4 * np.pi], [4]),
+        species=[
+            Species("elc", -1.0, 1.0, Grid([-6.0], [6.0], [8]), initial_f)
+        ],
+        field=FieldSpec(initial={"Ex": lambda x: -1e-3 / 0.5 * np.sin(0.5 * x)}),
+        poly_order=2,
+        cfl=0.6,
+    )
+    assert np.allclose(app.f["elc"], hand.f["elc"], atol=1e-14)
+    assert np.allclose(app.em, hand.em, atol=1e-14)
+
+
+def test_run_honors_step_cap_and_records_history():
+    driver = Driver(build("two_stream", nx=4, nv=8, steps=3, t_end=100.0))
+    result = driver.run()
+    assert result["status"] == "max_steps"
+    assert result["steps"] == 3
+    assert len(driver.history.times) == 4  # initial sample + 3 steps
+    assert result["energy_drift"] < 1e-8
+
+
+def test_energy_interval_thins_sampling():
+    spec = build(
+        "two_stream", nx=4, nv=8, steps=4, t_end=100.0,
+        **{"diagnostics.energy_interval": 2},
+    )
+    driver = Driver(spec)
+    driver.run()
+    assert len(driver.history.times) == 3  # t=0, step 2, step 4
+
+
+def test_wall_clock_budget_stops_run(tmp_path):
+    spec = build("two_stream", nx=4, nv=8, t_end=1e6)
+    driver = Driver(spec, outdir=tmp_path, wall_clock_budget=0.0)
+    result = driver.run()
+    assert result["status"] == "budget_exhausted"
+    assert (tmp_path / "checkpoint.npz").exists()
+
+
+def test_checkpoint_requires_a_path():
+    driver = Driver(build("two_stream", nx=4, nv=8, steps=1))
+    with pytest.raises(SpecError):
+        driver.checkpoint()
+
+
+def test_checkpoint_interval_without_path_fails_at_construction():
+    """Misconfiguration must surface before any steps are computed."""
+    spec = build(
+        "two_stream", nx=4, nv=8, **{"diagnostics.checkpoint_interval": 2}
+    )
+    with pytest.raises(SpecError) as err:
+        Driver(spec)  # no outdir, no checkpoint_path
+    assert "checkpoint" in err.value.field
+
+
+def test_killed_then_resumed_run_matches_uninterrupted(tmp_path):
+    """The acceptance property: resume reproduces the uninterrupted state."""
+    common = dict(nx=6, nv=12, t_end=100.0)
+
+    ref = Driver(build("two_stream", steps=8, **common), outdir=tmp_path / "ref")
+    ref.run()
+
+    # "kill" after 4 steps: the step cap stops the driver mid-simulation,
+    # leaving the periodic checkpoint behind
+    killed = Driver(
+        build(
+            "two_stream", steps=4, **common,
+            **{"diagnostics.checkpoint_interval": 4},
+        ),
+        outdir=tmp_path / "killed",
+    )
+    assert killed.run()["status"] == "max_steps"
+
+    resumed = Driver.from_checkpoint(
+        tmp_path / "killed" / "checkpoint.npz",
+        outdir=tmp_path / "resumed",
+        overrides={"steps": 8},
+    )
+    assert resumed.app.step_count == 4
+    result = resumed.run()
+    assert result["steps"] == 8
+
+    assert resumed.app.time == ref.app.time
+    ref_state, res_state = ref.app.state(), resumed.app.state()
+    assert set(ref_state) == set(res_state)
+    for key in ref_state:
+        assert np.array_equal(ref_state[key], res_state[key]), key
+    # diagnostics history survives the kill/resume seam too
+    assert np.array_equal(ref.history.times, resumed.history.times)
+    assert np.array_equal(ref.history.field_energy, resumed.history.field_energy)
+
+
+def test_resume_maxwell_model(tmp_path):
+    common = dict(nx=4, nv=8, t_end=100.0)
+    ref = Driver(build("landau_damping", steps=6, **common))
+    ref.run()
+
+    part = Driver(build("landau_damping", steps=3, **common), outdir=tmp_path)
+    part.run()
+    resumed = Driver.from_checkpoint(tmp_path / "checkpoint.npz", overrides={"steps": 6})
+    resumed.run()
+    assert np.array_equal(ref.app.em, resumed.app.em)
+    assert np.array_equal(ref.app.f["elc"], resumed.app.f["elc"])
+
+
+def test_summary_is_json_serializable(tmp_path):
+    import json
+
+    result = Driver(build("free_streaming", nx=4, nv=8, steps=2)).run()
+    json.dumps(result)
+    assert result["scenario"] == "free_streaming"

@@ -1,0 +1,83 @@
+"""Scenario registry: listing, building, override routing, error paths."""
+
+import pytest
+
+from repro.runtime import SpecError, build, get_scenario, list_scenarios
+from repro.runtime.scenarios import scenario
+
+EXPECTED = {
+    "landau_damping",
+    "two_stream",
+    "weibel_2x2v",
+    "bump_on_tail",
+    "collisional_relaxation",
+    "free_streaming",
+}
+
+
+def test_registry_ships_canonical_scenarios():
+    names = {sc.name for sc in list_scenarios()}
+    assert EXPECTED <= names
+    assert len(names) >= 6
+
+
+def test_every_scenario_builds_a_valid_roundtrippable_spec():
+    from repro.runtime import SimulationSpec
+
+    for sc in list_scenarios():
+        spec = build(sc.name)
+        assert SimulationSpec.from_json(spec.to_json()) == spec
+        assert sc.description  # one-line docstring surfaced in `repro list`
+
+
+def test_scenario_params_introspection():
+    sc = get_scenario("two_stream")
+    assert sc.params["drift"] == 2.0
+    assert "nv" in sc.params
+
+
+def test_build_routes_physics_params_and_spec_overrides():
+    spec = build("two_stream", drift=1.25, nv=16, cfl=0.5, steps=3)
+    assert spec.species[0].initial["drift"] == 1.25
+    assert spec.species[0].velocity_grid.cells == (16,)
+    assert spec.cfl == 0.5
+    assert spec.steps == 3
+
+
+def test_build_dotted_spec_override():
+    spec = build("landau_damping", **{"species.elc.initial.vt": 0.8})
+    assert spec.species[0].initial["vt"] == 0.8
+
+
+def test_unknown_scenario_lists_known_names():
+    with pytest.raises(SpecError) as err:
+        get_scenario("tokamak")
+    assert "two_stream" in str(err.value)
+
+
+def test_unknown_override_key_errors():
+    with pytest.raises(SpecError):
+        build("two_stream", drfit=2.0)  # typo: neither a param nor a spec field
+
+
+def test_scenario_param_validation_flows_through():
+    with pytest.raises(SpecError) as err:
+        build("collisional_relaxation", operator="krook")
+    assert "collisions.kind" in err.value.field
+
+
+def test_decorator_registers_and_validates(monkeypatch):
+    from repro.runtime import scenarios as mod
+
+    @scenario("_tmp_test_scenario")
+    def _tmp(nx: int = 4):
+        """Throwaway registration-path scenario."""
+        return build("two_stream", nx=nx)
+
+    try:
+        sc = get_scenario("_tmp_test_scenario")
+        assert sc.build(nx=6).conf_grid.cells == (6,)
+        with pytest.raises(SpecError):
+            sc.build(ny=6)
+    finally:
+        mod._REGISTRY.pop("_tmp_test_scenario", None)

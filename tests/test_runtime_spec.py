@@ -1,0 +1,181 @@
+"""Spec layer: dict/JSON round-trip, validation errors, overrides."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    DiagnosticsSpec,
+    FieldInitSpec,
+    GridSpec,
+    SimulationSpec,
+    SpecError,
+    SpeciesSpec,
+)
+
+
+def _minimal_spec(**kwargs):
+    base = dict(
+        name="t",
+        model="poisson",
+        conf_grid=GridSpec((0.0,), (1.0,), (4,)),
+        species=(
+            SpeciesSpec(
+                name="elc",
+                charge=-1.0,
+                mass=1.0,
+                velocity_grid=GridSpec((-4.0,), (4.0,), (8,)),
+            ),
+        ),
+    )
+    base.update(kwargs)
+    return SimulationSpec(**base)
+
+
+def test_dict_roundtrip_identity():
+    spec = _minimal_spec().validate()
+    again = SimulationSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.to_dict() == spec.to_dict()
+
+
+def test_json_roundtrip_identity():
+    spec = _minimal_spec(
+        model="maxwell",
+        field=FieldInitSpec(initial={"Ex": {"kind": "sine", "amp": 0.1, "k": 1.0}}),
+        diagnostics=DiagnosticsSpec(energy_interval=2, checkpoint_interval=5),
+    ).validate()
+    text = spec.to_json()
+    json.loads(text)  # valid JSON
+    assert SimulationSpec.from_json(text) == spec
+
+
+@pytest.mark.parametrize(
+    "mutate, field",
+    [
+        (dict(model="euler"), "spec.model"),
+        (dict(cfl=-0.5), "spec.cfl"),
+        (dict(poly_order=0), "spec.poly_order"),
+        (dict(t_end=0.0), "spec.t_end"),
+        (dict(steps=0), "spec.steps"),
+        (dict(scheme="nodal"), "spec.scheme"),
+        (dict(stepper="rk4"), "spec.stepper"),
+        (dict(family="hermite"), "spec.family"),
+        (dict(species=()), "spec.species"),
+    ],
+)
+def test_validation_errors_name_the_field(mutate, field):
+    with pytest.raises(SpecError) as err:
+        _minimal_spec(**mutate).validate()
+    assert err.value.field == field
+
+
+def test_species_error_paths_carry_index():
+    spec = _minimal_spec()
+    data = spec.to_dict()
+    data["species"][0]["mass"] = -1.0
+    with pytest.raises(SpecError) as err:
+        SimulationSpec.from_dict(data)
+    assert err.value.field == "spec.species[0].mass"
+
+
+def test_unknown_profile_kind_names_the_field():
+    data = _minimal_spec().to_dict()
+    data["species"][0]["initial"] = {"kind": "waterbag"}
+    with pytest.raises(SpecError) as err:
+        SimulationSpec.from_dict(data)
+    assert err.value.field == "spec.species[0].initial.kind"
+
+
+def test_unknown_profile_parameter_names_the_field():
+    data = _minimal_spec().to_dict()
+    data["species"][0]["initial"] = {"kind": "maxwellian", "vthermal": 2.0}
+    with pytest.raises(SpecError) as err:
+        SimulationSpec.from_dict(data)
+    assert err.value.field == "spec.species[0].initial.vthermal"
+
+
+def test_unknown_top_level_field_rejected():
+    data = _minimal_spec().to_dict()
+    data["colour"] = "red"
+    with pytest.raises(SpecError) as err:
+        SimulationSpec.from_dict(data)
+    assert err.value.field == "spec.colour"
+
+
+def test_poisson_model_constraints():
+    with pytest.raises(SpecError) as err:
+        _minimal_spec(scheme="quadrature").validate()
+    assert err.value.field == "spec.scheme"
+    with pytest.raises(SpecError) as err:
+        _minimal_spec(field=FieldInitSpec()).validate()
+    assert err.value.field == "spec.field"
+
+
+def test_duplicate_species_names_rejected():
+    sp = _minimal_spec().species[0]
+    with pytest.raises(SpecError) as err:
+        _minimal_spec(species=(sp, sp)).validate()
+    assert err.value.field == "spec.species"
+
+
+def test_overrides_dotted_paths():
+    spec = _minimal_spec().validate()
+    out = spec.with_overrides(
+        {
+            "cfl": 0.5,
+            "steps": 7,
+            "species.elc.charge": -2.0,
+            "species.0.initial.vt": 0.25,
+            "conf_grid.cells": [8],
+        }
+    )
+    assert out.cfl == 0.5
+    assert out.steps == 7
+    assert out.species[0].charge == -2.0
+    assert out.species[0].initial["vt"] == 0.25
+    assert out.conf_grid.cells == (8,)
+    # original untouched (frozen dataclasses)
+    assert spec.cfl != 0.5
+
+
+def test_overrides_unknown_path_errors():
+    spec = _minimal_spec().validate()
+    with pytest.raises(SpecError) as err:
+        spec.with_overrides({"cflx": 0.5})
+    assert "cflx" in str(err.value)
+    with pytest.raises(SpecError):
+        spec.with_overrides({"species.ion.charge": 1.0})  # no such species
+
+
+def test_override_can_create_collisions():
+    spec = _minimal_spec().validate()
+    out = spec.with_overrides({"species.elc.collisions.kind": "bgk"})
+    assert out.species[0].collisions.kind == "bgk"
+    # setting a non-kind parameter first auto-creates with the default kind
+    out = spec.with_overrides({"species.elc.collisions.nu": 0.5})
+    assert out.species[0].collisions.kind == "lbo"
+    assert out.species[0].collisions.nu == 0.5
+
+
+def test_maxwell_model_rejects_poisson_only_knobs():
+    base = _minimal_spec(
+        model="maxwell",
+        field=FieldInitSpec(),
+    )
+    with pytest.raises(SpecError) as err:
+        base.validate().with_overrides({"epsilon0": 4.0})
+    assert err.value.field == "spec.epsilon0"
+    with pytest.raises(SpecError) as err:
+        base.validate().with_overrides({"neutralize": False})
+    assert err.value.field == "spec.neutralize"
+
+
+def test_grid_spec_validation():
+    with pytest.raises(SpecError) as err:
+        GridSpec((0.0,), (-1.0,), (4,)).validate("g")
+    assert err.value.field.startswith("g.upper")
+    with pytest.raises(SpecError):
+        GridSpec.from_dict({"lower": [0.0], "upper": [1.0]}, "g")  # missing cells
+    with pytest.raises(SpecError):
+        GridSpec.from_dict({"lower": [0.0], "upper": [1.0], "cells": [2.5]}, "g")
