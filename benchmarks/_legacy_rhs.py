@@ -1,0 +1,259 @@
+"""Pre-refactor RHS reference for the hot-path benchmark.
+
+This module preserves, verbatim in structure, the evaluation path the
+precompiled-plan engine replaced: the original ``GroupedOperator`` (lazy
+single plan, per-call temporaries, per-item coefficient assembly) and the
+original solver RHS driver (sparse streaming path with fresh rolls/zeros
+every call, per-side acceleration applications on copied face slices).  The
+benchmark measures the engine against it in the same process so machine
+drift cancels; the exactness check asserts both produce the same RHS.
+
+Not imported by the library — benchmark-only code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.termset import AuxValue, Symbol, TermSet
+
+
+def _axis_slice(ndim: int, axis: int, sl: slice):
+    out = [slice(None)] * ndim
+    out[axis] = sl
+    return tuple(out)
+
+
+class LegacyGroupedOperator:
+    """The seed's grouped evaluator: one lazily built plan, allocating
+    temporaries on every application."""
+
+    def __init__(self, termset: TermSet, cdim: int, vdim: int):
+        self.termset = termset
+        self.cdim = cdim
+        self.vdim = vdim
+        self.nout = termset.nout
+        self.nin = termset.nin
+        self._plan = None  # built lazily from the first aux dict
+
+    def _classify(self, aux: Dict[str, AuxValue]):
+        pdim = self.cdim + self.vdim
+        groups: Dict[Symbol, List[Tuple[float, Optional[str], np.ndarray]]] = {}
+        fallback: Dict[Symbol, list] = {}
+        entries = self.termset.entries_by_symbol()
+        for sym, triples in entries.items():
+            scalar_names: List[str] = []
+            cfg_names: List[str] = []
+            vel_names: List[str] = []
+            ok = True
+            for name in sym:
+                val = aux[name]
+                if np.isscalar(val) or (isinstance(val, np.ndarray) and val.ndim == 0):
+                    scalar_names.append(name)
+                    continue
+                arr = np.asarray(val)
+                if arr.ndim != pdim:
+                    ok = False
+                    break
+                varies_cfg = any(s > 1 for s in arr.shape[: self.cdim])
+                varies_vel = any(s > 1 for s in arr.shape[self.cdim:])
+                if varies_cfg and varies_vel:
+                    ok = False
+                    break
+                if varies_cfg:
+                    cfg_names.append(name)
+                elif varies_vel:
+                    vel_names.append(name)
+                else:
+                    scalar_names.append(name)
+            if not ok or len(cfg_names) > 1:
+                fallback[sym] = triples
+                continue
+            dense = np.zeros((self.nout, self.nin))
+            for l, m, c in triples:
+                dense[l, m] = c
+            key = tuple(sorted(vel_names))
+            groups.setdefault(key, []).append(
+                (scalar_names, cfg_names[0] if cfg_names else None, dense)
+            )
+        plan = []
+        for vel_key, items in groups.items():
+            mats = np.stack([it[2] for it in items])
+            plan.append((vel_key, items, mats.reshape(len(items), -1)))
+        fallback_ts = (
+            TermSet(self.nout, self.nin, fallback) if fallback else None
+        )
+        self._plan = (plan, fallback_ts)
+
+    def apply(self, fin, aux, out):
+        if self._plan is None:
+            self._classify(aux)
+        plan, fallback = self._plan
+        cfg_shape = fin.shape[1: 1 + self.cdim]
+        vel_shape = fin.shape[1 + self.cdim:]
+        ncfg = int(np.prod(cfg_shape)) if cfg_shape else 1
+        nvel = int(np.prod(vel_shape)) if vel_shape else 1
+
+        f3 = fin.reshape(self.nin, ncfg, nvel)
+        out3 = out.reshape(self.nout, ncfg, nvel)
+        for vel_key, items, mats_flat in plan:
+            if vel_key:
+                velval = 1.0
+                for name in vel_key:
+                    velval = velval * aux[name]
+                velval = np.broadcast_to(
+                    velval, (1,) + cfg_shape + vel_shape
+                ).reshape(1, ncfg, nvel)
+                g = f3 * velval
+            else:
+                g = f3
+            coef = np.empty((len(items), ncfg))
+            for i, (scalar_names, cfg_name, _dense) in enumerate(items):
+                c = 1.0
+                for name in scalar_names:
+                    c = c * float(aux[name])
+                if cfg_name is None:
+                    coef[i] = c
+                else:
+                    arr = np.broadcast_to(
+                        aux[cfg_name], cfg_shape + (1,) * self.vdim
+                    ).reshape(ncfg)
+                    coef[i] = c * arr
+            a = (coef.T @ mats_flat).reshape(ncfg, self.nout, self.nin)
+            out3 += np.matmul(a, g.transpose(1, 0, 2)).transpose(1, 0, 2)
+        if fallback is not None:
+            fallback.apply(fin, aux, out)
+        return out
+
+
+class LegacyMoments:
+    """The seed moment path: full phase-space zeros + sparse apply + reduce,
+    allocated fresh on every call."""
+
+    def __init__(self, calc):
+        self.calc = calc
+
+    def compute(self, name: str, f: np.ndarray) -> np.ndarray:
+        calc = self.calc
+        ts = calc.kernels.moments[name]
+        full = np.zeros((calc.num_conf_basis,) + calc.grid.cells)
+        ts.apply(f, calc._aux, full)
+        return full.sum(axis=calc._vel_axes)
+
+    def current_density(self, f: np.ndarray, charge: float) -> np.ndarray:
+        out = np.zeros((3, self.calc.num_conf_basis) + self.calc.grid.conf.cells)
+        for d in range(self.calc.grid.vdim):
+            out[d] = charge * self.compute(f"M1{'xyz'[d]}", f)
+        return out
+
+
+class LegacyCoupledRhs:
+    """The seed app's full coupled RHS (species + current coupling + Maxwell),
+    allocating its stage outputs as the pre-refactor path did."""
+
+    def __init__(self, app):
+        self.app = app
+        self.species_rhs = {
+            sp.name: LegacyRhs(app.solvers[sp.name]) for sp in app.species
+        }
+        self.moments = {
+            sp.name: LegacyMoments(app.moments[sp.name]) for sp in app.species
+        }
+
+    def __call__(self, state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        app = self.app
+        out: Dict[str, np.ndarray] = {}
+        em = state["em"]
+        for sp in app.species:
+            f = state[f"f/{sp.name}"]
+            out[f"f/{sp.name}"] = self.species_rhs[sp.name](f, em)
+        if app.field_spec.evolve:
+            current = np.zeros(
+                (3, app.cfg_basis.num_basis) + app.conf_grid.cells
+            )
+            for sp in app.species:
+                current += self.moments[sp.name].current_density(
+                    state[f"f/{sp.name}"], sp.charge
+                )
+            out["em"] = app.maxwell.rhs(em, current=current)
+        else:
+            out["em"] = np.zeros_like(em)
+        return out
+
+
+class LegacyRhs:
+    """The seed solver's RHS driver, bound to a current solver's kernels."""
+
+    def __init__(self, solver):
+        self.solver = solver
+        self.grid = solver.grid
+        cdim, vdim = self.grid.cdim, self.grid.vdim
+        self._vol_accel_ops = [
+            LegacyGroupedOperator(ts, cdim, vdim) for ts in solver.kernels.vol_accel
+        ]
+        self._surf_accel_ops = [
+            {side: LegacyGroupedOperator(ts, cdim, vdim) for side, ts in sides.items()}
+            for sides in solver.kernels.surf_accel
+        ]
+
+    def field_aux(self, em: np.ndarray) -> Dict[str, object]:
+        """Fresh aux dict per call, as the seed built it."""
+        solver = self.solver
+        aux = dict(solver._base_aux)
+        g = self.grid
+        npc = solver.num_conf_basis
+        for comp in range(3):
+            for k in range(npc):
+                aux[f"E{comp}_{k}"] = g.conf_coefficient_array(em[comp, k])
+                aux[f"B{comp}_{k}"] = g.conf_coefficient_array(em[3 + comp, k])
+        return aux
+
+    def __call__(self, f: np.ndarray, em: np.ndarray, out=None) -> np.ndarray:
+        solver = self.solver
+        if out is None:
+            out = np.zeros_like(f)
+        else:
+            out.fill(0.0)
+        aux = self.field_aux(em)
+        # volume
+        for ts in solver.kernels.vol_stream:
+            ts.apply(f, aux, out)
+        for op in self._vol_accel_ops:
+            op.apply(f, aux, out)
+        # streaming surfaces
+        for j in range(self.grid.cdim):
+            axis = 1 + j
+            sides = solver.kernels.surf_stream[j]
+            pos = solver._upwind_pos[j]
+            neg = 1.0 - pos
+            f_left = f * pos
+            f_right = np.roll(f, -1, axis=axis) * neg
+            sides[("L", "L")].apply(f_left, aux, out)
+            sides[("L", "R")].apply(f_right, aux, out)
+            buf = np.zeros_like(out)
+            sides[("R", "L")].apply(f_left, aux, buf)
+            sides[("R", "R")].apply(f_right, aux, buf)
+            out += np.roll(buf, 1, axis=axis)
+        # acceleration surfaces
+        half = 0.5
+        for j in range(self.grid.vdim):
+            axis = 1 + self.grid.cdim + j
+            n = f.shape[axis]
+            if n < 2:
+                continue
+            sides = self._surf_accel_ops[j]
+            sl_lo = _axis_slice(f.ndim, axis, slice(0, n - 1))
+            sl_hi = _axis_slice(f.ndim, axis, slice(1, n))
+            f_left = np.ascontiguousarray(f[sl_lo]) * half
+            f_right = np.ascontiguousarray(f[sl_hi]) * half
+            inc_left = np.zeros_like(f_left)
+            sides[("L", "L")].apply(f_left, aux, inc_left)
+            sides[("L", "R")].apply(f_right, aux, inc_left)
+            inc_right = np.zeros_like(f_left)
+            sides[("R", "L")].apply(f_left, aux, inc_right)
+            sides[("R", "R")].apply(f_right, aux, inc_right)
+            out[sl_lo] += inc_left
+            out[sl_hi] += inc_right
+        return out

@@ -1,0 +1,183 @@
+"""RHS hot-path micro-benchmark: precompiled-plan engine vs pre-refactor path.
+
+Measures the modal Vlasov–Maxwell right-hand side — the kernel the paper's
+throughput claims live or die on — through the plan-cached execution engine
+(:mod:`repro.engine`) and through the pre-refactor reference preserved in
+:mod:`_legacy_rhs` (lazy single-plan grouped operators, per-call temporaries,
+allocating stage outputs).  Both run in the same process back to back, so
+machine drift cancels; results are printed and optionally written as JSON
+for CI trend tracking.
+
+Usage::
+
+    python benchmarks/bench_rhs_hotpath.py                  # weibel config
+    python benchmarks/bench_rhs_hotpath.py --config two_stream
+    python benchmarks/bench_rhs_hotpath.py --smoke --json bench.json
+    python benchmarks/bench_rhs_hotpath.py --require-speedup 2.0
+
+Not collected by pytest (no ``test_`` functions) — run it as a script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _legacy_rhs import LegacyCoupledRhs, LegacyRhs  # noqa: E402
+
+from repro.runtime import SimulationSpec, build, build_app  # noqa: E402
+from repro.runtime.spec import FieldInitSpec, GridSpec, SpeciesSpec  # noqa: E402
+
+
+def _two_stream_maxwell_spec(nx: int, nv: int) -> SimulationSpec:
+    """The two-stream configuration as a Vlasov–Maxwell run (1X1V)."""
+    k = 0.5
+    length = 2.0 * math.pi / k
+    return SimulationSpec(
+        name="two_stream_maxwell",
+        model="maxwell",
+        conf_grid=GridSpec((0.0,), (length,), (nx,)),
+        species=(
+            SpeciesSpec(
+                name="elc",
+                charge=-1.0,
+                mass=1.0,
+                velocity_grid=GridSpec((-8.0,), (8.0,), (nv,)),
+                initial={
+                    "kind": "counter_beams",
+                    "drift": 2.0,
+                    "vt": 0.5,
+                    "perturbation": {"amp": 1e-4, "k": k},
+                },
+            ),
+        ),
+        field=FieldInitSpec(
+            initial={"Ex": {"kind": "sine", "amp": 2e-4, "k": k}}
+        ),
+        poly_order=2,
+        cfl=0.6,
+        t_end=1.0,
+    )
+
+
+def _build(config: str, smoke: bool, backend: str):
+    if config == "weibel":
+        nx, nv = (4, 8) if smoke else (6, 14)
+        spec = build("weibel_2x2v", nx=nx, nv=nv).with_overrides({"backend": backend})
+    elif config == "two_stream":
+        nx, nv = (8, 16) if smoke else (24, 48)
+        spec = _two_stream_maxwell_spec(nx, nv).with_overrides({"backend": backend})
+    else:
+        raise SystemExit(f"unknown config {config!r} (weibel, two_stream)")
+    return spec, build_app(spec)
+
+
+def _best(fn, repeats: int, iters: int) -> float:
+    """Best-of mean seconds per call (min over repeats averages out noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / iters)
+    return best
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--config", default="weibel", help="weibel | two_stream")
+    ap.add_argument("--smoke", action="store_true", help="tiny sizes / few reps (CI)")
+    ap.add_argument("--json", default=None, metavar="PATH", help="write results as JSON")
+    ap.add_argument("--backend", default="numpy", help="engine backend to measure")
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--iters", type=int, default=None)
+    ap.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless the coupled-RHS speedup reaches this factor",
+    )
+    args = ap.parse_args(argv)
+
+    repeats = args.repeats or (2 if args.smoke else 5)
+    iters = args.iters or (3 if args.smoke else 8)
+
+    spec, app = _build(args.config, args.smoke, args.backend)
+    name = app.species[0].name
+    solver = app.solvers[name]
+    f, em = app.f[name], app.em
+    state = app.state()
+
+    legacy_solver = LegacyRhs(solver)
+    legacy_coupled = LegacyCoupledRhs(app)
+    out = np.zeros_like(f)
+    out_state = {k: np.empty_like(v) for k, v in state.items()}
+
+    # correctness gate: both paths must produce the same RHS
+    ref = legacy_solver(f, em)
+    got = solver.rhs(f, em)
+    scale = max(float(np.max(np.abs(ref))), 1.0)
+    rhs_err = float(np.max(np.abs(ref - got))) / scale
+    if rhs_err > 1e-12:
+        print(f"FATAL: engine RHS deviates from reference ({rhs_err:.2e})")
+        return 1
+
+    # warm every plan cache before timing
+    solver.rhs(f, em, out)
+    app.rhs(state, out=out_state)
+    legacy_coupled(state)
+
+    t_solver_new = _best(lambda: solver.rhs(f, em, out), repeats, iters)
+    t_solver_old = _best(lambda: legacy_solver(f, em, out), repeats, iters)
+    t_app_new = _best(lambda: app.rhs(state, out=out_state), repeats, iters)
+    t_app_old = _best(lambda: legacy_coupled(state), repeats, iters)
+    dt = app.suggested_dt()
+    t_step = _best(lambda: app.step(dt), max(repeats - 1, 1), max(iters // 2, 1))
+
+    result = {
+        "config": args.config,
+        "backend": args.backend,
+        "smoke": args.smoke,
+        "cells": list(app.phase_grids[name].cells),
+        "num_basis": solver.num_basis,
+        "rhs_rel_err": rhs_err,
+        "solver_rhs_ms": {"engine": 1e3 * t_solver_new, "legacy": 1e3 * t_solver_old},
+        "solver_rhs_speedup": t_solver_old / t_solver_new,
+        "coupled_rhs_ms": {"engine": 1e3 * t_app_new, "legacy": 1e3 * t_app_old},
+        "coupled_rhs_speedup": t_app_old / t_app_new,
+        "step_ms": 1e3 * t_step,
+    }
+
+    print(f"=== RHS hot path — {args.config} "
+          f"(cells {result['cells']}, Np={solver.num_basis}, "
+          f"backend={args.backend}{', smoke' if args.smoke else ''}) ===")
+    print(f"exactness (engine vs legacy): {rhs_err:.2e}")
+    print(f"solver RHS : engine {1e3*t_solver_new:8.2f} ms | "
+          f"legacy {1e3*t_solver_old:8.2f} ms | {result['solver_rhs_speedup']:.2f}x")
+    print(f"coupled RHS: engine {1e3*t_app_new:8.2f} ms | "
+          f"legacy {1e3*t_app_old:8.2f} ms | {result['coupled_rhs_speedup']:.2f}x")
+    print(f"full SSP-RK3 step: {1e3*t_step:.2f} ms")
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.require_speedup is not None:
+        if result["coupled_rhs_speedup"] < args.require_speedup:
+            print(f"FAIL: speedup {result['coupled_rhs_speedup']:.2f}x "
+                  f"< required {args.require_speedup}x")
+            return 1
+        print(f"OK: speedup >= {args.require_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -108,6 +108,7 @@ class VlasovMaxwellApp:
         stepper: str = "ssp-rk3",
         velocity_flux: str = "central",
         ic_quad_order: Optional[int] = None,
+        backend: str = "numpy",
     ):
         if scheme not in ("modal", "quadrature"):
             raise ValueError("scheme must be 'modal' or 'quadrature'")
@@ -123,6 +124,7 @@ class VlasovMaxwellApp:
         self.family = family
         self.cfl = float(cfl)
         self.scheme = scheme
+        self.backend = backend
         self.stepper = get_stepper(stepper)
         self.time = 0.0
         self.step_count = 0
@@ -149,24 +151,30 @@ class VlasovMaxwellApp:
             self.phase_grids[sp.name] = pg
             if scheme == "modal":
                 solver = VlasovModalSolver(
-                    pg, poly_order, family, sp.charge, sp.mass, velocity_flux
+                    pg, poly_order, family, sp.charge, sp.mass, velocity_flux,
+                    backend=backend,
                 )
                 kernels = solver.kernels
             else:
                 solver = VlasovQuadratureSolver(
-                    pg, poly_order, family, sp.charge, sp.mass
+                    pg, poly_order, family, sp.charge, sp.mass, backend=backend
                 )
                 from ..kernels.registry import get_vlasov_kernels
 
                 kernels = get_vlasov_kernels(pg.cdim, pg.vdim, poly_order, family)
             self.solvers[sp.name] = solver
-            self.moments[sp.name] = MomentCalculator(pg, kernels)
+            self.moments[sp.name] = MomentCalculator(
+                pg, kernels, pool=getattr(solver, "pool", None)
+            )
             basis = ModalBasis(pg.pdim, poly_order, family)
             self.f[sp.name] = project_phase_function(
                 sp.initial, pg, basis, ic_quad_order
             )
 
         self.em = self.maxwell.project_initial_condition(self.field_spec.initial)
+        # persistent coupling buffers (allocated on first RHS)
+        self._species_current: Optional[np.ndarray] = None
+        self._total_current: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # state plumbing
@@ -181,13 +189,21 @@ class VlasovMaxwellApp:
             self.f[sp.name] = state[f"f/{sp.name}"]
         self.em = state["em"]
 
-    def total_current(self, state: Dict[str, np.ndarray]) -> np.ndarray:
-        current = np.zeros((3, self.cfg_basis.num_basis) + self.conf_grid.cells)
+    def total_current(
+        self, state: Dict[str, np.ndarray], out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        shape = (3, self.cfg_basis.num_basis) + self.conf_grid.cells
+        if out is None:
+            out = np.zeros(shape)
+        else:
+            out.fill(0.0)
+        if self._species_current is None:
+            self._species_current = np.empty(shape)
         for sp in self.species:
-            current += self.moments[sp.name].current_density(
-                state[f"f/{sp.name}"], sp.charge
+            out += self.moments[sp.name].current_density(
+                state[f"f/{sp.name}"], sp.charge, out=self._species_current
             )
-        return current
+        return out
 
     def total_charge_density(self, state: Dict[str, np.ndarray]) -> np.ndarray:
         rho = np.zeros((self.cfg_basis.num_basis,) + self.conf_grid.cells)
@@ -197,24 +213,40 @@ class VlasovMaxwellApp:
             )
         return rho
 
-    def rhs(self, state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
-        """Full coupled RHS: Vlasov per species + Maxwell with currents."""
-        out: Dict[str, np.ndarray] = {}
-        em = state["em"]
+    def rhs(
+        self,
+        state: Dict[str, np.ndarray],
+        out: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Full coupled RHS: Vlasov per species + Maxwell with currents.
+
+        ``out``, when given, is a donated state-shaped buffer dict filled in
+        place (the steady-state path: no phase-space allocation).
+        """
+        if out is None:
+            out = {k: np.empty_like(v) for k, v in state.items()}
+        em = state["em"] if "em" in state else self.em
         for sp in self.species:
             f = state[f"f/{sp.name}"]
-            df = self.solvers[sp.name].rhs(f, em)
+            df = out[f"f/{sp.name}"]
+            self.solvers[sp.name].rhs(f, em, out=df)
             if sp.collisions is not None:
                 mom = self.moments[sp.name]
                 sp.collisions.rhs(f, mom, out=df, accumulate=True)
-            out[f"f/{sp.name}"] = df
         if self.field_spec.evolve:
-            current = self.total_current(state)
+            current = self.total_current(state, out=self._current_buf())
             rho = self.total_charge_density(state) if self.field_spec.chi_e else None
-            out["em"] = self.maxwell.rhs(em, current=current, charge_density=rho)
-        else:
-            out["em"] = np.zeros_like(em)
+            self.maxwell.rhs(em, current=current, charge_density=rho, out=out["em"])
+        elif "em" in out:
+            out["em"].fill(0.0)
         return out
+
+    def _current_buf(self) -> np.ndarray:
+        if self._total_current is None:
+            self._total_current = np.empty(
+                (3, self.cfg_basis.num_basis) + self.conf_grid.cells
+            )
+        return self._total_current
 
     # ------------------------------------------------------------------ #
     # time advance
@@ -232,14 +264,22 @@ class VlasovMaxwellApp:
         return self.cfl / freq
 
     def step(self, dt: Optional[float] = None) -> float:
-        """Advance one step; returns the dt taken."""
+        """Advance one step (in place; the state arrays are mutated);
+        returns the dt taken."""
         if dt is None:
             dt = self.suggested_dt()
-        new_state = self.stepper.step(self.state(), self.rhs, dt)
-        self.set_state(new_state)
+        state = self.state()
+        if not self.field_spec.evolve:
+            # a static field is not stepped: keeps it bitwise frozen and
+            # skips three stage combinations
+            state.pop("em")
+        self.stepper.step_inplace(state, self._rhs_into, dt)
         self.time += dt
         self.step_count += 1
         return dt
+
+    def _rhs_into(self, state: Dict[str, np.ndarray], out: Dict[str, np.ndarray]) -> None:
+        self.rhs(state, out=out)
 
     def run(
         self,

@@ -48,6 +48,7 @@ class VlasovPoissonApp:
         epsilon0: float = 1.0,
         neutralize: bool = True,
         ic_quad_order: Optional[int] = None,
+        backend: str = "numpy",
     ):
         if conf_grid.ndim != 1:
             raise ValueError("VlasovPoissonApp supports 1-D configuration space")
@@ -57,9 +58,11 @@ class VlasovPoissonApp:
         self.family = family
         self.cfl = float(cfl)
         self.neutralize = neutralize
+        self.backend = backend
         self.stepper = get_stepper(stepper)
         self.time = 0.0
         self.step_count = 0
+        self._em_buf: Optional[np.ndarray] = None
 
         self.cfg_basis = ModalBasis(1, poly_order, family)
         self.poisson = Poisson1D(conf_grid, self.cfg_basis, epsilon0)
@@ -70,9 +73,11 @@ class VlasovPoissonApp:
         for sp in self.species:
             pg = PhaseGrid(conf_grid, sp.velocity_grid)
             self.phase_grids[sp.name] = pg
-            solver = VlasovModalSolver(pg, poly_order, family, sp.charge, sp.mass)
+            solver = VlasovModalSolver(
+                pg, poly_order, family, sp.charge, sp.mass, backend=backend
+            )
             self.solvers[sp.name] = solver
-            self.moments[sp.name] = MomentCalculator(pg, solver.kernels)
+            self.moments[sp.name] = MomentCalculator(pg, solver.kernels, pool=solver.pool)
             basis = ModalBasis(pg.pdim, poly_order, family)
             self.f[sp.name] = project_phase_function(sp.initial, pg, basis, ic_quad_order)
 
@@ -88,12 +93,16 @@ class VlasovPoissonApp:
         return rho
 
     def electric_field(self, state: Dict[str, np.ndarray]) -> np.ndarray:
-        """Full EM-state array with only ``Ex`` populated (solver interface)."""
+        """Full EM-state array with only ``Ex`` populated (solver interface).
+
+        The returned array is a persistent buffer refreshed on every call.
+        """
         rho = self.charge_density(state)
         ex = self.poisson.solve(rho)
-        em = np.zeros((8, self.cfg_basis.num_basis) + self.conf_grid.cells)
-        em[0] = ex
-        return em
+        if self._em_buf is None:
+            self._em_buf = np.zeros((8, self.cfg_basis.num_basis) + self.conf_grid.cells)
+        self._em_buf[0] = ex
+        return self._em_buf
 
     def state(self) -> Dict[str, np.ndarray]:
         return {f"f/{sp.name}": self.f[sp.name] for sp in self.species}
@@ -102,15 +111,22 @@ class VlasovPoissonApp:
         for sp in self.species:
             self.f[sp.name] = state[f"f/{sp.name}"]
 
-    def rhs(self, state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    def rhs(
+        self,
+        state: Dict[str, np.ndarray],
+        out: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Electrostatic RHS; ``out``, when given, is a donated buffer dict
+        filled in place."""
         em = self.electric_field(state)
-        out = {}
+        if out is None:
+            out = {k: np.empty_like(v) for k, v in state.items()}
         for sp in self.species:
             f = state[f"f/{sp.name}"]
-            df = self.solvers[sp.name].rhs(f, em)
+            df = out[f"f/{sp.name}"]
+            self.solvers[sp.name].rhs(f, em, out=df)
             if sp.collisions is not None:
                 sp.collisions.rhs(f, self.moments[sp.name], out=df, accumulate=True)
-            out[f"f/{sp.name}"] = df
         return out
 
     # ------------------------------------------------------------------ #
@@ -126,10 +142,13 @@ class VlasovPoissonApp:
     def step(self, dt: Optional[float] = None) -> float:
         if dt is None:
             dt = self.suggested_dt()
-        self.set_state(self.stepper.step(self.state(), self.rhs, dt))
+        self.stepper.step_inplace(self.state(), self._rhs_into, dt)
         self.time += dt
         self.step_count += 1
         return dt
+
+    def _rhs_into(self, state: Dict[str, np.ndarray], out: Dict[str, np.ndarray]) -> None:
+        self.rhs(state, out=out)
 
     def run(self, t_end: float, diagnostics=None, max_steps: int = 10**9):
         start = time.perf_counter()

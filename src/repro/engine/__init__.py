@@ -1,0 +1,45 @@
+"""Precompiled kernel execution engine.
+
+The paper's thesis is that alias-free modal kernels can run at the speed of
+the underlying dense linear algebra; in Python the obstacle is per-call
+interpreter overhead, not FLOPs.  This package removes that overhead once
+and for all layers:
+
+* :mod:`~repro.engine.plan` compiles a :class:`~repro.kernels.termset.TermSet`
+  into an :class:`ExecutionPlan` — symbols pre-split into scalar /
+  configuration-varying / velocity-varying factors, dense operator blocks
+  pre-stacked, sparse blocks kept full-width for in-place accumulation —
+  keyed by the aux *signature* so a plan is compiled once and reused for
+  every RK stage of every step (and invalidated if the signature changes);
+* :mod:`~repro.engine.pool` owns preallocated scratch buffers so steady-state
+  kernel application performs no array allocation;
+* :mod:`~repro.engine.backend` abstracts the dense batched products behind an
+  :class:`ArrayBackend` (``numpy`` default, ``threaded`` chunked variant),
+  selected per simulation via ``SimulationSpec.backend`` / ``repro run
+  --backend`` — the seam where sharded or GPU execution plugs in later.
+"""
+
+from .backend import (
+    ArrayBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .plan import ExecutionPlan, PlanSignatureError, aux_signature, classify_aux_value
+from .pool import ScratchPool
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "ThreadedBackend",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+    "ExecutionPlan",
+    "PlanSignatureError",
+    "aux_signature",
+    "classify_aux_value",
+    "ScratchPool",
+]

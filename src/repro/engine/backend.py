@@ -1,0 +1,178 @@
+"""Pluggable dense-array execution backends.
+
+An :class:`ArrayBackend` supplies the two dense products an
+:class:`~repro.engine.plan.ExecutionPlan` is built from — a plain GEMM and a
+batched (per-configuration-cell) GEMM — always writing into caller-provided
+output buffers.  Elementwise work stays plain NumPy everywhere; only the
+products that dominate the FLOP count route through the backend, which is
+exactly the seam a sharded or GPU executor needs.
+
+Backends are registered by name so they can be chosen declaratively
+(``SimulationSpec.backend``, ``repro run --backend``):
+
+* ``numpy`` — single-threaded-NumPy/BLAS reference (the default);
+* ``threaded`` — chunks the batch/column axis of large products across a
+  thread pool (BLAS releases the GIL); bitwise identical per output column,
+  worthwhile once per-cell blocks are large enough to amortize dispatch.
+  ``threaded:N`` pins the worker count.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "ThreadedBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+]
+
+
+class ArrayBackend:
+    """Dense-product execution strategy used by compiled plans."""
+
+    name = "base"
+
+    def gemm(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``out[...] = a @ b`` for 2-D operands."""
+        raise NotImplementedError
+
+    def batched_gemm(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``out[i] = a[i] @ b[i]`` over a leading batch axis."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference backend: every product is one ``np.matmul`` call."""
+
+    name = "numpy"
+
+    def gemm(self, a, b, out):
+        return np.matmul(a, b, out=out)
+
+    def batched_gemm(self, a, b, out):
+        return np.matmul(a, b, out=out)
+
+
+class ThreadedBackend(NumpyBackend):
+    """Chunks large products across a persistent thread pool.
+
+    Output chunks are disjoint slices — no accumulation races — and each
+    element is one dot product, so results agree with the numpy backend to
+    the dot-reassociation limit (BLAS may block subproblems differently).
+    Products below ``min_work`` multiply-adds fall through to the
+    single-call path.
+    """
+
+    name = "threaded"
+
+    def __init__(self, workers: Optional[int] = None, min_work: int = 1 << 18):
+        if workers is None:
+            self.workers = min(8, os.cpu_count() or 1)
+        else:
+            self.workers = int(workers)
+            if self.workers < 1:
+                raise ValueError(f"worker count must be >= 1, got {workers}")
+        self.min_work = int(min_work)
+        self._executor = None
+
+    def describe(self) -> str:
+        return f"threaded({self.workers})"
+
+    def _pool(self):
+        if self._executor is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-backend"
+            )
+        return self._executor
+
+    def _run_chunks(self, tasks: List[Callable[[], None]]) -> None:
+        pool = self._pool()
+        for fut in [pool.submit(t) for t in tasks]:
+            fut.result()
+
+    def gemm(self, a, b, out):
+        n = out.shape[-1]
+        work = a.shape[0] * a.shape[1] * n
+        if self.workers < 2 or work < self.min_work or n < self.workers:
+            return np.matmul(a, b, out=out)
+        step = -(-n // self.workers)
+        self._run_chunks(
+            [
+                (lambda s=s: np.matmul(a, b[:, s : s + step], out=out[:, s : s + step]))
+                for s in range(0, n, step)
+            ]
+        )
+        return out
+
+    def batched_gemm(self, a, b, out):
+        nbatch = out.shape[0]
+        work = nbatch * a.shape[-2] * a.shape[-1] * out.shape[-1]
+        if self.workers < 2 or work < self.min_work or nbatch < self.workers:
+            return np.matmul(a, b, out=out)
+        step = -(-nbatch // self.workers)
+        a_batched = a.ndim == 3
+        self._run_chunks(
+            [
+                (
+                    lambda s=s: np.matmul(
+                        a[s : s + step] if a_batched else a,
+                        b[s : s + step],
+                        out=out[s : s + step],
+                    )
+                )
+                for s in range(0, nbatch, step)
+            ]
+        )
+        return out
+
+
+# --------------------------------------------------------------------- #
+_BACKENDS: Dict[str, Callable[..., ArrayBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., ArrayBackend]) -> None:
+    """Register a backend factory ``factory(**kwargs) -> ArrayBackend``."""
+    _BACKENDS[name] = factory
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("threaded", ThreadedBackend)
+
+
+def available_backends() -> List[str]:
+    return sorted(_BACKENDS)
+
+
+def get_backend(spec: Union[str, ArrayBackend, None]) -> ArrayBackend:
+    """Resolve a backend instance from an instance, a name, or ``name:arg``
+    (``threaded:4`` pins four workers).  ``None`` means the default."""
+    if spec is None:
+        spec = "numpy"
+    if isinstance(spec, ArrayBackend):
+        return spec
+    name, _, arg = str(spec).partition(":")
+    if name not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r} (available: {', '.join(available_backends())})"
+        )
+    if arg:
+        try:
+            count = int(arg)
+        except ValueError:
+            raise ValueError(
+                f"bad backend argument {spec!r}: {arg!r} is not an integer"
+            ) from None
+        return _BACKENDS[name](count)
+    return _BACKENDS[name]()

@@ -1,0 +1,521 @@
+"""Compiled execution plans for generated kernels.
+
+A :class:`~repro.kernels.termset.TermSet` names its runtime factors
+symbolically; *how* to evaluate it efficiently depends on where each factor
+varies.  An :class:`ExecutionPlan` performs that analysis once — against an
+**aux signature**, the classification of every symbol as scalar (``s``),
+configuration-varying (``c``), velocity-varying (``v``) or irregular
+(``x``) — and freezes the result:
+
+* terms whose symbols carry no configuration dependence share one operator
+  for every phase-space cell; they are kept as full-width sparse matrices
+  and applied as in-place sparse×dense-block products (one pass over the
+  state per distinct velocity factor, zero temporaries);
+* terms with configuration-varying factors (the acceleration kernels' modal
+  field coefficients) are pre-stacked into dense operator blocks; per
+  application one small GEMM assembles the per-cell operators
+  ``A[c] = Σ_i coef_i[c] K_i`` and one batched GEMM applies them — the
+  near-BLAS-throughput form of the paper's headline claim;
+* symbols varying on both cell groups fall back to the exact sparse
+  reference path.
+
+Plans own no state except references into a shared
+:class:`~repro.engine.pool.ScratchPool`, so steady-state application
+allocates nothing.  A plan is only valid for the signature and cell shape it
+was compiled against; :class:`~repro.kernels.grouped.GroupedOperator` keys
+its plan cache on both, which is what fixes the historical stale-plan
+hazard (a plan built from the first ``aux`` dict being silently reused for
+aux of a different shape).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..kernels.termset import AuxValue, Symbol, TermSet
+from .backend import ArrayBackend, get_backend
+from .pool import ScratchPool
+
+__all__ = [
+    "classify_aux_value",
+    "aux_signature",
+    "ExecutionPlan",
+    "PlanSignatureError",
+]
+
+Signature = Tuple[Tuple[str, str], ...]
+
+try:  # fast in-place sparse accumulation (scipy's own csr kernel)
+    from scipy.sparse import _sparsetools as _csr_tools
+except ImportError:  # pragma: no cover - scipy always ships it
+    _csr_tools = None
+
+
+class PlanSignatureError(ValueError):
+    """An ExecutionPlan was applied to aux it was not compiled for."""
+
+
+def classify_aux_value(val: AuxValue, cdim: int, vdim: int) -> str:
+    """Classify one runtime symbol value: ``s`` scalar/constant, ``c``
+    configuration-varying, ``v`` velocity-varying, ``x`` irregular (varies on
+    both, or does not span the phase axes)."""
+    if type(val) is float or np.isscalar(val):
+        return "s"
+    arr = np.asarray(val)
+    if arr.ndim == 0:
+        return "s"
+    if arr.ndim != cdim + vdim:
+        return "x"
+    varies_cfg = any(s > 1 for s in arr.shape[:cdim])
+    varies_vel = any(s > 1 for s in arr.shape[cdim:])
+    if varies_cfg and varies_vel:
+        return "x"
+    if varies_cfg:
+        return "c"
+    if varies_vel:
+        return "v"
+    return "s"
+
+
+def aux_signature(
+    names: Sequence[str], aux: Dict[str, AuxValue], cdim: int, vdim: int
+) -> Signature:
+    """Classification signature of ``aux`` restricted to ``names``.
+
+    Two aux dicts with equal signatures are interchangeable under the same
+    compiled plan (values may differ; layout may not).
+    """
+    out = []
+    for name in names:
+        try:
+            val = aux[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"kernel symbol {name!r} missing from aux (have: {sorted(aux)})"
+            ) from exc
+        out.append((name, classify_aux_value(val, cdim, vdim)))
+    return tuple(out)
+
+
+def _scalar_value(val: AuxValue) -> float:
+    if type(val) is float or np.isscalar(val):
+        return float(val)
+    arr = np.asarray(val)
+    # constant arrays classified "s" are size one in every axis
+    return float(arr.reshape(-1)[0])
+
+
+def _csr_accumulate(mat: sp.csr_matrix, data: np.ndarray, x2: np.ndarray, y2: np.ndarray):
+    """``y2 += csr(mat.indptr, mat.indices, data) @ x2`` without temporaries."""
+    if _csr_tools is not None:
+        _csr_tools.csr_matvecs(
+            mat.shape[0],
+            mat.shape[1],
+            x2.shape[1],
+            mat.indptr,
+            mat.indices,
+            data,
+            x2.reshape(-1),
+            y2.reshape(-1),
+        )
+    else:  # pragma: no cover - exercised only on exotic scipy builds
+        y2 += sp.csr_matrix((data, mat.indices, mat.indptr), shape=mat.shape) @ x2
+
+
+class _UniformGroup:
+    """Terms with one shared operator per cell: sparse, applied in place."""
+
+    __slots__ = ("vel_names", "terms")
+
+    def __init__(self, vel_names: Tuple[str, ...]):
+        self.vel_names = vel_names
+        # each term: (scalar_names, full-width csr, preallocated scaled-data buffer)
+        self.terms: List[Tuple[Tuple[str, ...], sp.csr_matrix, np.ndarray]] = []
+
+
+class _CfgGroup:
+    """Terms with configuration-varying operators: pre-stacked dense blocks."""
+
+    __slots__ = ("vel_names", "items", "mats", "hat")
+
+    def __init__(self, vel_names: Tuple[str, ...]):
+        self.vel_names = vel_names
+        # each item: (scalar_names, cfg_names); row i of ``mats`` is its block
+        self.items: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = []
+        self.mats: Optional[np.ndarray] = None  # (n_items, nout * nin)
+        self.hat: Optional[np.ndarray] = None   # (n_items, r_out * r_in)
+
+
+class ExecutionPlan:
+    """A TermSet compiled against one (aux signature, cell shape) pair.
+
+    Parameters
+    ----------
+    termset:
+        The generated kernel.
+    cdim, vdim:
+        Phase-space split defining the configuration/velocity cell axes.
+    aux:
+        A representative aux dict; only its *signature* (classification of
+        each symbol) is baked in, never its values.
+    cell_shape:
+        The cell axes of the states this plan will be applied to; scratch
+        buffers are sized for it.
+    backend, pool:
+        Dense-product strategy and shared scratch arena.
+    """
+
+    def __init__(
+        self,
+        termset: TermSet,
+        cdim: int,
+        vdim: int,
+        aux: Dict[str, AuxValue],
+        cell_shape: Tuple[int, ...],
+        backend: Optional[ArrayBackend] = None,
+        pool: Optional[ScratchPool] = None,
+    ):
+        self.termset = termset
+        self.cdim = int(cdim)
+        self.vdim = int(vdim)
+        self.nout = termset.nout
+        self.nin = termset.nin
+        self.cell_shape = tuple(cell_shape)
+        self.cfg_shape = self.cell_shape[: self.cdim]
+        self.vel_shape = self.cell_shape[self.cdim :]
+        self.ncfg = int(np.prod(self.cfg_shape)) if self.cfg_shape else 1
+        self.nvel = int(np.prod(self.vel_shape)) if self.vel_shape else 1
+        self.ncells = self.ncfg * self.nvel
+        self.backend = get_backend(backend)
+        self.pool = pool if pool is not None else ScratchPool()
+        self.names = sorted({n for sym in termset.entries_by_symbol() for n in sym})
+        self.signature = aux_signature(self.names, aux, self.cdim, self.vdim)
+        self._compile(dict(self.signature))
+
+    # ------------------------------------------------------------------ #
+    def _compile(self, tokens: Dict[str, str]) -> None:
+        uniform: Dict[Tuple[str, ...], _UniformGroup] = {}
+        cfg_groups: Dict[Tuple[str, ...], _CfgGroup] = {}
+        cfg_mats: Dict[Tuple[str, ...], List[np.ndarray]] = {}
+        fallback: Dict[Symbol, list] = {}
+        for sym, triples in self.termset.entries_by_symbol().items():
+            scalar_names, cfg_names, vel_names = [], [], []
+            irregular = False
+            for name in sym:
+                tok = tokens[name]
+                if tok == "x":
+                    irregular = True
+                    break
+                (scalar_names if tok == "s" else cfg_names if tok == "c" else vel_names).append(name)
+            if irregular:
+                fallback[sym] = triples
+                continue
+            key = tuple(sorted(vel_names))
+            rows = np.array([t[0] for t in triples], dtype=np.int64)
+            cols = np.array([t[1] for t in triples], dtype=np.int64)
+            vals = np.array([t[2] for t in triples], dtype=float)
+            mat = sp.csr_matrix(
+                (vals, (rows, cols)), shape=(self.nout, self.nin)
+            )
+            if cfg_names:
+                grp = cfg_groups.get(key)
+                if grp is None:
+                    grp = cfg_groups[key] = _CfgGroup(key)
+                    cfg_mats[key] = []
+                grp.items.append((tuple(scalar_names), tuple(cfg_names)))
+                cfg_mats[key].append(mat.toarray().reshape(-1))
+            else:
+                grp = uniform.get(key)
+                if grp is None:
+                    grp = uniform[key] = _UniformGroup(key)
+                grp.terms.append(
+                    (tuple(scalar_names), mat, np.empty_like(mat.data))
+                )
+        for key, grp in cfg_groups.items():
+            grp.mats = np.stack(cfg_mats[key]) if cfg_mats[key] else None
+        self._uniform = list(uniform.values())
+        self._cfg = [g for g in cfg_groups.values() if g.mats is not None]
+        self._fallback = (
+            TermSet(self.nout, self.nin, fallback) if fallback else None
+        )
+        self._factorize_cfg()
+
+    def _factorize_cfg(self) -> None:
+        """Shared low-rank factorization of the dense operator stacks.
+
+        Surface kernels act through a face trace, so every block of a
+        surface plan shares row/column spaces of dimension = the number of
+        face modes (20 of 96 x 48 for 2X2V p=2 serendipity).  When the
+        structural rank is low enough to pay for the extra trace/lift
+        products, blocks are stored as ``K_i = U H_i V^T`` and applications
+        run in the reduced space: one trace product, small batched GEMMs,
+        one lift product.  The factorization is orthonormal and exact to
+        roundoff (verified here; falls back to the direct stacks if not).
+        """
+        self._fact = None
+        if not self._cfg:
+            return
+        K = np.concatenate(
+            [g.mats.reshape(len(g.items), self.nout, self.nin) for g in self._cfg]
+        )
+        _, s_in, vt = np.linalg.svd(K.reshape(-1, self.nin), full_matrices=False)
+        _, s_out, wt = np.linalg.svd(
+            np.swapaxes(K, 1, 2).reshape(-1, self.nout), full_matrices=False
+        )
+        if s_in.size == 0 or s_in[0] == 0.0:
+            return
+        r_in = int(np.sum(s_in > s_in[0] * 1e-10))
+        r_out = int(np.sum(s_out > s_out[0] * 1e-10))
+        ngroups = len(self._cfg)
+        direct = ngroups * self.nout * self.nin
+        factored = (
+            r_in * self.nin + ngroups * r_out * r_in + self.nout * r_out
+        )
+        if factored >= 0.85 * direct:
+            return
+        vt = np.ascontiguousarray(vt[:r_in])          # (r_in, nin)
+        u = np.ascontiguousarray(wt[:r_out].T)        # (nout, r_out)
+        hat = np.matmul(np.matmul(u.T, K), vt.T)      # (n_total, r_out, r_in)
+        recon = np.matmul(np.matmul(u, hat), vt)
+        scale = np.max(np.abs(K)) or 1.0
+        if np.max(np.abs(recon - K)) > 1e-12 * scale:  # pragma: no cover
+            return
+        start = 0
+        for grp in self._cfg:
+            n = len(grp.items)
+            grp.hat = hat[start : start + n].reshape(n, r_out * r_in).copy()
+            grp.mats = None  # the dense stack is fully replaced by its factors
+            start += n
+        self._fact = (u, vt, r_out, r_in)
+
+    # ------------------------------------------------------------------ #
+    def ensure_signature(self, aux: Dict[str, AuxValue]) -> None:
+        """Raise :class:`PlanSignatureError` if ``aux`` no longer matches the
+        signature this plan was compiled against."""
+        sig = aux_signature(self.names, aux, self.cdim, self.vdim)
+        if sig != self.signature:
+            changed = [
+                f"{name}: {dict(self.signature)[name]!r} -> {tok!r}"
+                for name, tok in sig
+                if dict(self.signature)[name] != tok
+            ]
+            raise PlanSignatureError(
+                "aux layout changed since this plan was compiled "
+                f"({'; '.join(changed)}); rebuild the plan"
+            )
+
+    # ------------------------------------------------------------------ #
+    def _vel_product(self, names: Tuple[str, ...], aux: Dict[str, AuxValue]):
+        """Product of velocity-varying factors (small, velocity-axis sized)."""
+        val = np.asarray(aux[names[0]])
+        for name in names[1:]:
+            val = val * np.asarray(aux[name])
+        return val
+
+    def _cfg_row(self, val: AuxValue) -> np.ndarray:
+        """A configuration-varying factor flattened to ``(ncfg,)`` —
+        a view in the standard layout ``cfg_cells + (1,)*vdim``."""
+        arr = np.asarray(val)
+        if arr.shape[: self.cdim] == self.cfg_shape:
+            return arr.reshape(self.ncfg)
+        return np.broadcast_to(
+            arr, self.cfg_shape + (1,) * self.vdim
+        ).reshape(self.ncfg)
+
+    # ------------------------------------------------------------------ #
+    def apply(
+        self,
+        fin: np.ndarray,
+        aux: Dict[str, AuxValue],
+        out: np.ndarray,
+        accumulate: bool = True,
+    ) -> np.ndarray:
+        """Accumulate the kernel action into ``out`` (same contract as
+        :meth:`TermSet.apply`).  ``fin``/``out`` must be C-contiguous with
+        cell axes equal to the plan's ``cell_shape``.
+
+        With ``accumulate=False`` the prior contents of ``out`` are
+        discarded (``out = K f`` rather than ``out += K f``) without the
+        caller having to zero it — the first dense write assigns.
+        """
+        if fin.shape[1:] != self.cell_shape:
+            raise ValueError(
+                f"plan compiled for cells {self.cell_shape}, got {fin.shape[1:]}"
+            )
+        if not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous (accumulated in place)")
+        pool, backend = self.pool, self.backend
+
+        # dense (configuration-batched) part first: in non-accumulating
+        # mode its cell-major result is *assigned* into out, saving a zero
+        # pass; the sparse parts below always accumulate on top.  The
+        # cell-major gather consumes strided views directly, so sliced
+        # surface states need no up-front contiguous copy.
+        if self._cfg:
+            self._apply_cfg(fin, aux, out, assign=not accumulate)
+        elif not accumulate:
+            out.fill(0.0)
+
+        if not fin.flags.c_contiguous and (self._uniform or self._fallback):
+            fcontig = pool.get("plan.fcontig", fin.shape)
+            np.copyto(fcontig, fin)
+            fin = fcontig
+        out2 = out.reshape(self.nout, self.ncells)
+
+        for grp in self._uniform:
+            if grp.vel_names:
+                velfac = np.broadcast_to(
+                    self._vel_product(grp.vel_names, aux), (1,) + self.cell_shape
+                )
+                g = pool.get("plan.g", (self.nin,) + self.cell_shape)
+                np.multiply(fin, velfac, out=g)
+                x2 = g.reshape(self.nin, self.ncells)
+            else:
+                x2 = fin.reshape(self.nin, self.ncells)
+            for scalar_names, mat, dbuf in grp.terms:
+                c = 1.0
+                for name in scalar_names:
+                    c *= _scalar_value(aux[name])
+                np.multiply(mat.data, c, out=dbuf)
+                _csr_accumulate(mat, dbuf, x2, out2)
+
+        if self._fallback is not None:
+            self._fallback.apply(fin, aux, out)
+        return out
+
+    def _apply_cfg(self, fin, aux, out, assign: bool) -> None:
+        """Configuration-batched dense part, phase-major target: compute in
+        cell-major scratch, then transform-assign (or -add) into ``out``."""
+        pool = self.pool
+        out3 = out.reshape(self.nout, self.ncfg, self.nvel)
+        outc = pool.get("plan.outc", (self.ncfg, self.nout, self.nvel))
+        self._apply_cfg_into(fin, aux, outc, accumulate=False)
+        outc_t = outc.transpose(1, 0, 2)
+        if assign:
+            np.copyto(out3, outc_t)
+        else:
+            out3 += outc_t
+
+    def apply_cellmajor(
+        self,
+        fin: np.ndarray,
+        aux: Dict[str, AuxValue],
+        outc: np.ndarray,
+        accumulate: bool = True,
+    ) -> np.ndarray:
+        """Apply into a cell-major target ``(ncfg, nout, nvel)`` — the
+        batched products' native layout, skipping the phase-major transform.
+        Only valid for fully configuration-batched plans (no sparse or
+        fallback parts), e.g. the acceleration surface kernels."""
+        if self._uniform or self._fallback is not None:
+            raise ValueError(
+                "cell-major application requires a fully configuration-"
+                "batched plan (this one has sparse/fallback parts)"
+            )
+        if fin.shape[1:] != self.cell_shape:
+            raise ValueError(
+                f"plan compiled for cells {self.cell_shape}, got {fin.shape[1:]}"
+            )
+        if not outc.flags.c_contiguous or outc.shape != (
+            self.ncfg, self.nout, self.nvel,
+        ):
+            raise ValueError(
+                f"outc must be C-contiguous with shape "
+                f"{(self.ncfg, self.nout, self.nvel)}"
+            )
+        if not self._cfg:
+            if not accumulate:
+                outc.fill(0.0)
+            return outc
+        self._apply_cfg_into(fin, aux, outc, accumulate=accumulate)
+        return outc
+
+    def _apply_cfg_into(self, fin, aux, outc, accumulate: bool) -> None:
+        """Assemble per-cell operators with one small GEMM and apply them
+        with one batched GEMM per group, into the cell-major ``outc``
+        (assigned when ``accumulate`` is False)."""
+        pool, backend = self.pool, self.backend
+        fc = pool.get("plan.fc", (self.ncfg, self.nin, self.nvel))
+        # cell-major gather straight from (possibly strided) fin: one pass
+        fcv = fc.reshape(self.cfg_shape + (self.nin,) + self.vel_shape)
+        np.copyto(fcv, np.moveaxis(fin, 0, self.cdim))
+        if self._fact is not None:
+            u, vt, r_out, r_in = self._fact
+            # reduced space: trace once, per-group small products, lift once
+            gt = pool.get("plan.gt", (self.ncfg, r_in, self.nvel))
+            backend.batched_gemm(vt, fc, out=gt)
+            acc = pool.get("plan.outhat", (self.ncfg, r_out, self.nvel))
+            mm = pool.get("plan.mmhat", (self.ncfg, r_out, self.nvel))
+            work, rows, cols = gt, r_out, r_in
+            acc_assigned = False  # the reduced accumulator starts fresh
+        else:
+            acc = outc
+            mm = pool.get("plan.mm", (self.ncfg, self.nout, self.nvel))
+            work, rows, cols = fc, self.nout, self.nin
+            acc_assigned = accumulate  # outc already holds a carried result
+        for igrp, grp in enumerate(self._cfg):
+            n_items = len(grp.items)
+            coef = pool.get("plan.coef", (n_items, self.ncfg))
+            for i, (scalar_names, cfg_names) in enumerate(grp.items):
+                c = 1.0
+                for name in scalar_names:
+                    c *= _scalar_value(aux[name])
+                np.multiply(self._cfg_row(aux[cfg_names[0]]), c, out=coef[i])
+                for name in cfg_names[1:]:
+                    coef[i] *= self._cfg_row(aux[name])
+            amat = pool.get("plan.amat", (self.ncfg, rows * cols))
+            backend.gemm(coef.T, grp.hat if self._fact is not None else grp.mats, out=amat)
+            a3 = amat.reshape(self.ncfg, rows, cols)
+            if grp.vel_names:
+                vprod = self._vel_product(grp.vel_names, aux)
+                # drop the (size-one) configuration axes, flatten velocity;
+                # column scaling commutes with the trace product, so it is
+                # applied in the reduced space when factorized
+                velfac = np.broadcast_to(
+                    vprod.reshape(vprod.shape[self.cdim :]), self.vel_shape
+                ).reshape(1, 1, self.nvel)
+                gc = pool.get("plan.gc", (self.ncfg, cols, self.nvel))
+                np.multiply(work, velfac, out=gc)
+            else:
+                gc = work
+            if igrp == 0 and not acc_assigned:
+                backend.batched_gemm(a3, gc, out=acc)
+            else:
+                backend.batched_gemm(a3, gc, out=mm)
+                acc += mm
+        if self._fact is not None:
+            if accumulate:
+                lift = pool.get("plan.lift", (self.ncfg, self.nout, self.nvel))
+                backend.batched_gemm(u, acc, out=lift)
+                outc += lift
+            else:
+                backend.batched_gemm(u, acc, out=outc)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_pure_cfg(self) -> bool:
+        """True when every term is configuration-batched (no sparse or
+        fallback parts) — the precondition of :meth:`apply_cellmajor`."""
+        return not self._uniform and self._fallback is None
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Compile-time shape of the plan (for tests and diagnostics)."""
+        return {
+            "uniform_groups": len(self._uniform),
+            "uniform_terms": sum(len(g.terms) for g in self._uniform),
+            "cfg_groups": len(self._cfg),
+            "cfg_items": sum(len(g.items) for g in self._cfg),
+            "fallback_terms": 0 if self._fallback is None else len(self._fallback.terms),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        s = self.stats
+        return (
+            f"ExecutionPlan(cells={self.cell_shape}, uniform={s['uniform_terms']}, "
+            f"cfg={s['cfg_items']}, fallback={s['fallback_terms']}, "
+            f"backend={self.backend.describe()})"
+        )

@@ -1,0 +1,51 @@
+"""Preallocated scratch-buffer pool.
+
+Kernel application needs a handful of temporaries (velocity-weighted states,
+per-cell operator stacks, batched-GEMM outputs).  Allocating them per call
+costs more than the arithmetic on the small grids the paper benchmarks, so
+plans draw them from a :class:`ScratchPool`: one persistent array per
+``(tag, shape)``, reused across every plan and RK stage that shares the
+pool.  Pools are not thread-safe by design — one pool per solver instance,
+applied sequentially; parallel backends only thread *inside* a single dense
+product, never across pool users.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["ScratchPool"]
+
+
+class ScratchPool:
+    """Dictionary of reusable float64 work arrays keyed by (tag, shape)."""
+
+    def __init__(self):
+        self._arrays: Dict[Tuple[str, Tuple[int, ...]], np.ndarray] = {}
+
+    def get(self, tag: str, shape: Tuple[int, ...], zero: bool = False) -> np.ndarray:
+        """Fetch the persistent buffer for ``(tag, shape)``.
+
+        Two simultaneous uses of the same shape must use distinct tags;
+        sequential uses may share.  ``zero=True`` clears it first.
+        """
+        key = (tag, tuple(shape))
+        arr = self._arrays.get(key)
+        if arr is None:
+            arr = np.zeros(key[1])
+            self._arrays[key] = arr
+        elif zero:
+            arr.fill(0.0)
+        return arr
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def clear(self) -> None:
+        self._arrays.clear()

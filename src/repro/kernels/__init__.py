@@ -9,13 +9,18 @@ from .generator import (
     generate_surface_termsets,
     generate_volume_termset,
 )
+# NOTE: GroupedOperator lives in repro.kernels.grouped and is imported from
+# there directly — importing it here would cycle through repro.engine, whose
+# plans consume this package's termsets.
 from .registry import clear_registry, get_vlasov_kernels, registry_stats
-from .termset import Term, TermSet
+from .termset import Term, TermSet, merge_termsets, stack_termsets
 from .vlasov import VlasovKernels, acceleration_flux, build_vlasov_kernels, streaming_flux
 
 __all__ = [
     "TermSet",
     "Term",
+    "merge_termsets",
+    "stack_termsets",
     "FluxSpec",
     "FluxTerm",
     "generate_volume_termset",

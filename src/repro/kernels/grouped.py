@@ -1,19 +1,21 @@
-"""Grouped (batched-BLAS) evaluation of field-coupled kernels.
+"""Grouped (batched-BLAS) evaluation of generated kernels.
 
-The acceleration kernels couple ~`3 Npc` runtime symbols (modal field
+The acceleration kernels couple ~``3 Npc`` runtime symbols (modal field
 coefficients times velocity factors) to sparse tensors.  Applying them
 term-by-term is exact but, in NumPy, dominated by per-term elementwise
-products.  This module evaluates the *same* generated coefficients in a
-mathematically identical grouped form:
+products.  A :class:`GroupedOperator` evaluates the *same* generated
+coefficients in a mathematically identical grouped form by compiling them
+into :class:`~repro.engine.plan.ExecutionPlan` objects:
 
 1. split every symbol product into (scalar) x (configuration-varying field
    coefficient) x (velocity-varying factor);
-2. for each distinct velocity factor, combine all of its terms into one
-   dense ``(Npc_cells, Np, Np)`` operator ``A[c] = sum_s val_s[c] K_s`` —
-   a single small GEMM per application since the field coefficients are
-   constant within a configuration cell;
-3. apply ``out[:, c, :] += A[c] @ (velfac * f)[:, c, :]`` as one batched
-   matmul over configuration cells.
+2. for each distinct velocity factor, combine all configuration-varying
+   terms into one dense ``(Npc_cells, Np, Np)`` operator
+   ``A[c] = sum_s val_s[c] K_s`` — a single small GEMM per application since
+   the field coefficients are constant within a configuration cell — and
+   apply it as one batched matmul over configuration cells; terms with no
+   configuration dependence keep their exact sparsity and are applied as
+   in-place sparse products.
 
 The result is bitwise-reassociated but exactly the same contraction
 :math:`\\sum C_{lmn} \\alpha_n f_m`; the solver-level exactness tests cover
@@ -21,22 +23,29 @@ this path.  Per-cell work is unchanged (it is the same nonzero data densely
 padded), so the Fig. 2 scaling claims are measured on the sparse path; this
 path exists to keep the *constant factor* honest vs the BLAS-backed nodal
 baseline in Table I.
+
+Plans are cached per ``(cell shape, aux signature)`` and **invalidated when
+the signature changes** — an aux dict whose arrays change layout between
+calls (the historical stale-plan hazard) now transparently compiles a fresh
+plan instead of silently producing garbage.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from .termset import AuxValue, Symbol, TermSet
+from ..engine.backend import ArrayBackend, get_backend
+from ..engine.plan import ExecutionPlan, Signature, aux_signature
+from ..engine.pool import ScratchPool
+from .termset import AuxValue, TermSet
 
 __all__ = ["GroupedOperator"]
 
 
 class GroupedOperator:
-    """Batched-dense evaluation of a :class:`TermSet` whose symbols factor
-    into configuration-varying and velocity-varying parts.
+    """Plan-cached batched evaluation of a :class:`TermSet`.
 
     Parameters
     ----------
@@ -47,66 +56,66 @@ class GroupedOperator:
         axes are treated as configuration fields, on the last ``vdim`` axes
         as velocity factors.  Symbols varying on both fall back to the
         sparse path.
+    backend:
+        An :class:`~repro.engine.backend.ArrayBackend` instance or name
+        (default ``"numpy"``).
+    pool:
+        Optional shared :class:`~repro.engine.pool.ScratchPool`; solvers
+        pass one pool to all their operators so scratch is allocated once.
     """
 
-    def __init__(self, termset: TermSet, cdim: int, vdim: int):
+    def __init__(
+        self,
+        termset: TermSet,
+        cdim: int,
+        vdim: int,
+        backend: Union[str, ArrayBackend, None] = None,
+        pool: Optional[ScratchPool] = None,
+    ):
         self.termset = termset
-        self.cdim = cdim
-        self.vdim = vdim
+        self.cdim = int(cdim)
+        self.vdim = int(vdim)
         self.nout = termset.nout
         self.nin = termset.nin
-        self._plan = None  # built lazily from the first aux dict
+        self.backend = get_backend(backend)
+        self.pool = pool if pool is not None else ScratchPool()
+        self._names = sorted(
+            {n for sym in termset.entries_by_symbol() for n in sym}
+        )
+        self._plans: Dict[Tuple[Tuple[int, ...], Signature], ExecutionPlan] = {}
+        # identity fast path: when the exact same aux value objects arrive
+        # again (in-place stepping reuses them every stage), skip the
+        # signature computation; the values are held by reference so object
+        # identity cannot be recycled
+        self._fast_vals = None
+        self._fast_shape = None
+        self._fast_plan: Optional[ExecutionPlan] = None
 
     # ------------------------------------------------------------------ #
-    def _classify(self, aux: Dict[str, AuxValue]):
-        """Split each term's symbol tuple by where its factors vary."""
-        pdim = self.cdim + self.vdim
-        groups: Dict[Symbol, List[Tuple[float, Optional[str], np.ndarray]]] = {}
-        fallback: Dict[Symbol, list] = {}
-        entries = self.termset.entries_by_symbol()
-        for sym, triples in entries.items():
-            scalar_names: List[str] = []
-            cfg_names: List[str] = []
-            vel_names: List[str] = []
-            ok = True
-            for name in sym:
-                val = aux[name]
-                if np.isscalar(val) or (isinstance(val, np.ndarray) and val.ndim == 0):
-                    scalar_names.append(name)
-                    continue
-                arr = np.asarray(val)
-                if arr.ndim != pdim:
-                    ok = False
-                    break
-                varies_cfg = any(s > 1 for s in arr.shape[: self.cdim])
-                varies_vel = any(s > 1 for s in arr.shape[self.cdim:])
-                if varies_cfg and varies_vel:
-                    ok = False
-                    break
-                if varies_cfg:
-                    cfg_names.append(name)
-                elif varies_vel:
-                    vel_names.append(name)
-                else:
-                    scalar_names.append(name)
-            if not ok or len(cfg_names) > 1:
-                fallback[sym] = triples
-                continue
-            dense = np.zeros((self.nout, self.nin))
-            for l, m, c in triples:
-                dense[l, m] = c
-            key = tuple(sorted(vel_names))
-            groups.setdefault(key, []).append(
-                (scalar_names, cfg_names[0] if cfg_names else None, dense)
+    def plan_for(
+        self, aux: Dict[str, AuxValue], cell_shape: Tuple[int, ...]
+    ) -> ExecutionPlan:
+        """The compiled plan for this aux layout and cell shape (compiling
+        on first use; a changed aux signature compiles a fresh plan)."""
+        sig = aux_signature(self._names, aux, self.cdim, self.vdim)
+        key = (tuple(cell_shape), sig)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = ExecutionPlan(
+                self.termset,
+                self.cdim,
+                self.vdim,
+                aux,
+                cell_shape,
+                backend=self.backend,
+                pool=self.pool,
             )
-        plan = []
-        for vel_key, items in groups.items():
-            mats = np.stack([it[2] for it in items])  # (nitems, Np, Np)
-            plan.append((vel_key, items, mats.reshape(len(items), -1)))
-        fallback_ts = (
-            TermSet(self.nout, self.nin, fallback) if fallback else None
-        )
-        self._plan = (plan, fallback_ts)
+            self._plans[key] = plan
+        return plan
+
+    @property
+    def num_plans(self) -> int:
+        return len(self._plans)
 
     # ------------------------------------------------------------------ #
     def apply(
@@ -114,47 +123,48 @@ class GroupedOperator:
         fin: np.ndarray,
         aux: Dict[str, AuxValue],
         out: np.ndarray,
+        accumulate: bool = True,
     ) -> np.ndarray:
         """Accumulate the kernel action (same contract as ``TermSet.apply``).
 
-        ``fin``/``out`` have shape ``(N, *cfg_cells, *vel_cells)``.
+        ``fin``/``out`` have shape ``(N, *cfg_cells, *vel_cells)``; with
+        ``accumulate=False`` the prior contents of ``out`` are discarded.
         """
-        if self._plan is None:
-            self._classify(aux)
-        plan, fallback = self._plan
-        cfg_shape = fin.shape[1: 1 + self.cdim]
-        vel_shape = fin.shape[1 + self.cdim:]
-        ncfg = int(np.prod(cfg_shape)) if cfg_shape else 1
-        nvel = int(np.prod(vel_shape)) if vel_shape else 1
+        plan = self.plan_fast(aux, fin.shape[1:])
+        return plan.apply(fin, aux, out, accumulate=accumulate)
 
-        f3 = fin.reshape(self.nin, ncfg, nvel)
-        out3 = out.reshape(self.nout, ncfg, nvel)
-        for vel_key, items, mats_flat in plan:
-            if vel_key:
-                velval = 1.0
-                for name in vel_key:
-                    velval = velval * aux[name]
-                velval = np.broadcast_to(
-                    velval, (1,) + cfg_shape + vel_shape
-                ).reshape(1, ncfg, nvel)
-                g = f3 * velval
-            else:
-                g = f3
-            # coefficient per item per config cell
-            coef = np.empty((len(items), ncfg))
-            for i, (scalar_names, cfg_name, _dense) in enumerate(items):
-                c = 1.0
-                for name in scalar_names:
-                    c = c * float(aux[name])
-                if cfg_name is None:
-                    coef[i] = c
-                else:
-                    arr = np.broadcast_to(
-                        aux[cfg_name], cfg_shape + (1,) * self.vdim
-                    ).reshape(ncfg)
-                    coef[i] = c * arr
-            a = (coef.T @ mats_flat).reshape(ncfg, self.nout, self.nin)
-            out3 += np.matmul(a, g.transpose(1, 0, 2)).transpose(1, 0, 2)
-        if fallback is not None:
-            fallback.apply(fin, aux, out)
-        return out
+    def apply_cellmajor(
+        self,
+        fin: np.ndarray,
+        aux: Dict[str, AuxValue],
+        outc: np.ndarray,
+        accumulate: bool = True,
+    ) -> np.ndarray:
+        """Apply into a cell-major ``(ncfg, nout, nvel)`` target (see
+        :meth:`ExecutionPlan.apply_cellmajor`)."""
+        plan = self.plan_fast(aux, fin.shape[1:])
+        return plan.apply_cellmajor(fin, aux, outc, accumulate=accumulate)
+
+    def plan_fast(
+        self, aux: Dict[str, AuxValue], cell_shape: Tuple[int, ...]
+    ) -> ExecutionPlan:
+        """Like :meth:`plan_for`, but returning the cached plan through the
+        value-identity fast path (no signature recomputation when the same
+        aux objects arrive again)."""
+        try:
+            vals = [aux[n] for n in self._names]
+        except KeyError:
+            vals = None
+        fast = self._fast_vals
+        if (
+            vals is not None
+            and fast is not None
+            and cell_shape == self._fast_shape
+            and all(a is b for a, b in zip(vals, fast))
+        ):
+            return self._fast_plan
+        plan = self.plan_for(aux, cell_shape)
+        self._fast_vals = vals
+        self._fast_shape = cell_shape
+        self._fast_plan = plan
+        return plan

@@ -31,7 +31,7 @@ import scipy.sparse as sp
 Symbol = Tuple[str, ...]
 AuxValue = Union[float, np.ndarray]
 
-__all__ = ["Term", "TermSet", "symbol_value"]
+__all__ = ["Term", "TermSet", "symbol_value", "merge_termsets", "stack_termsets"]
 
 
 def symbol_value(aux: Dict[str, AuxValue], sym: Symbol):
@@ -98,6 +98,18 @@ class TermSet:
     def is_empty(self) -> bool:
         return not self.terms
 
+    def scaled(self, factor: float) -> "TermSet":
+        """A copy with every coefficient multiplied by ``factor`` (folds
+        constant flux weights into the generated entries)."""
+        return TermSet(
+            self.nout,
+            self.nin,
+            {
+                sym: [(l, m, c * factor) for l, m, c in triples]
+                for sym, triples in self._entries.items()
+            },
+        )
+
     # ------------------------------------------------------------------ #
     def apply(
         self,
@@ -145,3 +157,46 @@ class TermSet:
             f"TermSet(nout={self.nout}, nin={self.nin}, "
             f"terms={len(self.terms)}, nnz={self.num_entries})"
         )
+
+
+def merge_termsets(termsets: List["TermSet"]) -> "TermSet":
+    """The sum of several kernels with identical shapes as one kernel.
+
+    Entries sharing a symbol and an ``(l, m)`` slot add, so applying the
+    merged kernel equals applying each input in turn — in one pass over the
+    state instead of one per kernel.
+    """
+    if not termsets:
+        raise ValueError("need at least one termset")
+    nout, nin = termsets[0].nout, termsets[0].nin
+    entries: Dict[Symbol, List[Tuple[int, int, float]]] = {}
+    for ts in termsets:
+        if (ts.nout, ts.nin) != (nout, nin):
+            raise ValueError("merge requires identical (nout, nin)")
+        for sym, triples in ts.entries_by_symbol().items():
+            entries.setdefault(sym, []).extend(triples)
+    return TermSet(nout, nin, entries)
+
+
+def stack_termsets(termsets: List["TermSet"]) -> "TermSet":
+    """A kernel computing the row-concatenation of several kernels' outputs.
+
+    All inputs must share ``nin``; output slot ``sum(nout_before) + l`` of
+    the stacked kernel is slot ``l`` of the corresponding input.  Used to
+    evaluate the left- and right-cell face increments of one state in a
+    single (taller) batched product.
+    """
+    if not termsets:
+        raise ValueError("need at least one termset")
+    nin = termsets[0].nin
+    entries: Dict[Symbol, List[Tuple[int, int, float]]] = {}
+    offset = 0
+    for ts in termsets:
+        if ts.nin != nin:
+            raise ValueError("stack requires identical nin")
+        for sym, triples in ts.entries_by_symbol().items():
+            entries.setdefault(sym, []).extend(
+                (l + offset, m, c) for l, m, c in triples
+            )
+        offset += ts.nout
+    return TermSet(offset, nin, entries)

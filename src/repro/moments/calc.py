@@ -13,11 +13,13 @@ reduction over velocity cells.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
+from ..engine.pool import ScratchPool
 from ..grid.phase import PhaseGrid
+from ..kernels.grouped import GroupedOperator
 from ..kernels.vlasov import VlasovKernels
 
 __all__ = ["MomentCalculator", "integrate_conf_field"]
@@ -26,18 +28,31 @@ __all__ = ["MomentCalculator", "integrate_conf_field"]
 class MomentCalculator:
     """Computes configuration-space modal coefficients of velocity moments.
 
+    Moment kernels execute through the same plan-cached engine as the update
+    kernels (in-place sparse accumulation, pooled scratch), so the current
+    coupling in the field equations adds no per-step allocation of
+    phase-space size.
+
     Parameters
     ----------
     phase_grid:
         The phase-space grid of the species.
     kernels:
         Its generated kernel bundle (provides the moment termsets).
+    pool:
+        Optional shared scratch pool (one is created when omitted).
     """
 
-    def __init__(self, phase_grid: PhaseGrid, kernels: VlasovKernels):
+    def __init__(
+        self,
+        phase_grid: PhaseGrid,
+        kernels: VlasovKernels,
+        pool: Optional[ScratchPool] = None,
+    ):
         self.grid = phase_grid
         self.kernels = kernels
         self.num_conf_basis = kernels.cfg_basis.num_basis
+        self.pool = pool if pool is not None else ScratchPool()
         self._aux: Dict[str, object] = phase_grid.base_aux()
         self._aux["vjac"] = float(
             np.prod([0.5 * dv for dv in phase_grid.vel.dx])
@@ -45,32 +60,46 @@ class MomentCalculator:
         self._vel_axes = tuple(
             range(1 + phase_grid.cdim, 1 + phase_grid.pdim)
         )
+        self._ops = {
+            name: GroupedOperator(ts, phase_grid.cdim, phase_grid.vdim, pool=self.pool)
+            for name, ts in kernels.moments.items()
+        }
 
     def available(self):
         return sorted(self.kernels.moments)
 
-    def compute(self, name: str, f: np.ndarray) -> np.ndarray:
+    def compute(
+        self, name: str, f: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Return moment ``name`` as ``(Npc, *cfg_cells)`` coefficients.
 
         ``name`` is one of ``M0`` (density), ``M1x``/``M1y``/``M1z``
         (momentum density / charge-free current), ``M2`` (:math:`\\int |v|^2 f`).
+        ``out``, when given, receives the result (contents discarded).
         """
         try:
-            ts = self.kernels.moments[name]
+            op = self._ops[name]
         except KeyError as exc:
             raise KeyError(
                 f"moment {name!r} not generated; available: {self.available()}"
             ) from exc
-        full = np.zeros((self.num_conf_basis,) + self.grid.cells)
-        ts.apply(f, self._aux, full)
-        return full.sum(axis=self._vel_axes)
+        full = self.pool.get("moments.full", (self.num_conf_basis,) + self.grid.cells)
+        op.apply(f, self._aux, full, accumulate=False)
+        return np.sum(full, axis=self._vel_axes, out=out)
 
-    def current_density(self, f: np.ndarray, charge: float) -> np.ndarray:
+    def current_density(
+        self, f: np.ndarray, charge: float, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Species current ``q * (M1x, M1y, M1z)`` as ``(3, Npc, *cfg)``;
-        missing velocity components are zero."""
-        out = np.zeros((3, self.num_conf_basis) + self.grid.conf.cells)
+        missing velocity components are zero.  ``out``, when given, receives
+        the result (contents discarded)."""
+        if out is None:
+            out = np.zeros((3, self.num_conf_basis) + self.grid.conf.cells)
+        elif self.grid.vdim < 3:
+            out.fill(0.0)
         for d in range(self.grid.vdim):
-            out[d] = charge * self.compute(f"M1{'xyz'[d]}", f)
+            self.compute(f"M1{'xyz'[d]}", f, out=out[d])
+            out[d] *= charge
         return out
 
     def charge_density(self, f: np.ndarray, charge: float) -> np.ndarray:

@@ -77,7 +77,10 @@ def _cmd_show(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    spec = build(args.scenario, **_parse_set(args.set))
+    overrides = _parse_set(args.set)
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    spec = build(args.scenario, **overrides)
     driver = Driver(spec, outdir=args.outdir, wall_clock_budget=args.budget)
     result = driver.run()
     _print_summary(result, args.json)
@@ -87,11 +90,14 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_resume(args) -> int:
+    overrides = _parse_set(args.set)
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     driver = Driver.from_checkpoint(
         args.checkpoint,
         outdir=args.outdir,
         wall_clock_budget=args.budget,
-        overrides=_parse_set(args.set),
+        overrides=overrides,
     )
     result = driver.run()
     _print_summary(result, args.json)
@@ -140,6 +146,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--set", action="append", default=[], metavar="KEY=VAL")
     p_run.add_argument("--outdir", default=None, help="output/checkpoint directory")
     p_run.add_argument("--budget", type=float, default=None, help="wall-clock budget [s]")
+    p_run.add_argument(
+        "--backend",
+        default=None,
+        help="array-execution backend (numpy, threaded, threaded:N)",
+    )
     p_run.add_argument("--json", action="store_true", help="print the summary as JSON")
     p_run.set_defaults(func=_cmd_run)
 
@@ -148,6 +159,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_resume.add_argument("--set", action="append", default=[], metavar="KEY=VAL")
     p_resume.add_argument("--outdir", default=None)
     p_resume.add_argument("--budget", type=float, default=None)
+    p_resume.add_argument(
+        "--backend",
+        default=None,
+        help="array-execution backend (numpy, threaded, threaded:N)",
+    )
     p_resume.add_argument("--json", action="store_true")
     p_resume.set_defaults(func=_cmd_resume)
 

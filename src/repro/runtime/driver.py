@@ -12,6 +12,7 @@ the full spec, so resuming needs nothing but the ``.npz`` file.
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Union
@@ -74,6 +75,7 @@ def build_app(spec: SimulationSpec):
             stepper=spec.stepper,
             epsilon0=spec.epsilon0,
             neutralize=spec.neutralize,
+            backend=spec.backend,
         )
 
     field = None
@@ -100,6 +102,7 @@ def build_app(spec: SimulationSpec):
         cfl=spec.cfl,
         scheme=spec.scheme,
         stepper=spec.stepper,
+        backend=spec.backend,
     )
 
 
@@ -131,6 +134,10 @@ class Driver:
         self.app = build_app(self.spec)
         self.history = EnergyHistory(record_jdote=spec.diagnostics.record_jdote)
         self.wall_time = 0.0
+        self._stream = None
+        # a fresh driver truncates any stale stream file; checkpoint resumes
+        # (and later run() calls on this driver) append
+        self._stream_mode = "w"
         if self.outdir is not None:
             self.outdir.mkdir(parents=True, exist_ok=True)
         if spec.diagnostics.checkpoint_interval and self.checkpoint_path is None:
@@ -147,6 +154,15 @@ class Driver:
             return Path(self.spec.diagnostics.checkpoint_path)
         if self.outdir is not None:
             return self.outdir / "checkpoint.npz"
+        return None
+
+    @property
+    def stream_path(self) -> Optional[Path]:
+        """Where incremental JSONL diagnostics go (None disables streaming)."""
+        if self.spec.diagnostics.stream_path is not None:
+            return Path(self.spec.diagnostics.stream_path)
+        if self.outdir is not None:
+            return self.outdir / "diagnostics.jsonl"
         return None
 
     def checkpoint(self, path: Optional[PathLike] = None) -> Path:
@@ -196,6 +212,7 @@ class Driver:
         if overrides:
             spec = spec.with_overrides(overrides)
         drv = cls(spec, outdir=outdir, wall_clock_budget=wall_clock_budget)
+        drv._stream_mode = "a"  # continue the interrupted run's stream
         app_state = {
             k: np.array(v) for k, v in state.items() if not k.startswith(_HISTORY_PREFIX)
         }
@@ -219,6 +236,25 @@ class Driver:
     def _record(self) -> None:
         if self.spec.diagnostics.energy_interval:
             self.history(self.app)
+            self._stream_record()
+
+    def _stream_record(self) -> None:
+        """Append the newest history entry to the JSONL stream (if open)."""
+        if self._stream is None:
+            return
+        h = self.history
+        rec: Dict[str, object] = {
+            "time": h.times[-1],
+            "step": self.app.step_count,
+            "field_energy": h.field_energy[-1],
+            "particle_energy": {
+                name: vals[-1] for name, vals in h.particle_energy.items()
+            },
+        }
+        if h.record_jdote and h.jdote:
+            rec["jdote"] = h.jdote[-1]
+        self._stream.write(json.dumps(rec) + "\n")
+        self._stream.flush()
 
     def run(self, t_end: Optional[float] = None) -> Dict[str, object]:
         """Advance to ``t_end`` (default: the spec's) or the step cap.
@@ -226,6 +262,14 @@ class Driver:
         Returns a JSON-serializable summary.  ``status`` is ``"complete"``,
         ``"max_steps"`` (step cap hit first) or ``"budget_exhausted"``
         (wall-clock budget hit; a checkpoint is written when configured).
+
+        While running, diagnostics records stream incrementally to
+        :attr:`stream_path` as JSON lines (flushed per record), so long
+        campaigns are observable — and their histories salvageable — before
+        (or without) a clean finish.  Streaming is at-least-once: after a
+        crash, records between the last checkpoint and the kill point are
+        re-emitted by the resumed run — consumers should dedupe on ``step``
+        (keeping the last occurrence).
         """
         app = self.app
         diag = self.spec.diagnostics
@@ -233,24 +277,34 @@ class Driver:
         max_steps = self.spec.steps if self.spec.steps is not None else 10**9
         start = time.perf_counter()
         status = "complete"
-        if not self.history.times and app.step_count == 0:
-            self._record()
-        while app.time < t_end - 1e-12 and app.step_count < max_steps:
-            if (
-                self.wall_clock_budget is not None
-                and time.perf_counter() - start > self.wall_clock_budget
-            ):
-                status = "budget_exhausted"
-                break
-            dt = min(app.suggested_dt(), t_end - app.time)
-            app.step(dt)
-            if diag.energy_interval and app.step_count % diag.energy_interval == 0:
+        spath = self.stream_path
+        if spath is not None:
+            spath.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(spath, self._stream_mode)
+            self._stream_mode = "a"
+        try:
+            if not self.history.times and app.step_count == 0:
                 self._record()
-            if diag.checkpoint_interval and app.step_count % diag.checkpoint_interval == 0:
-                self.checkpoint()
-        else:
-            if app.time < t_end - 1e-12:
-                status = "max_steps"
+            while app.time < t_end - 1e-12 and app.step_count < max_steps:
+                if (
+                    self.wall_clock_budget is not None
+                    and time.perf_counter() - start > self.wall_clock_budget
+                ):
+                    status = "budget_exhausted"
+                    break
+                dt = min(app.suggested_dt(), t_end - app.time)
+                app.step(dt)
+                if diag.energy_interval and app.step_count % diag.energy_interval == 0:
+                    self._record()
+                if diag.checkpoint_interval and app.step_count % diag.checkpoint_interval == 0:
+                    self.checkpoint()
+            else:
+                if app.time < t_end - 1e-12:
+                    status = "max_steps"
+        finally:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
         self.wall_time += time.perf_counter() - start
         if self.checkpoint_path is not None:
             self.checkpoint()

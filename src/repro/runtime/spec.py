@@ -260,12 +260,19 @@ class FieldInitSpec:
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class DiagnosticsSpec:
-    """Diagnostics/checkpoint scheduling (step-count intervals; 0 = off)."""
+    """Diagnostics/checkpoint scheduling (step-count intervals; 0 = off).
+
+    ``stream_path`` names a JSONL file that receives one record per
+    diagnostics event *during* the run (incremental, flushed per line);
+    when unset, a Driver with an ``outdir`` streams to
+    ``outdir/diagnostics.jsonl``.
+    """
 
     energy_interval: int = 1
     checkpoint_interval: int = 0
     checkpoint_path: Optional[str] = None
     record_jdote: bool = False
+    stream_path: Optional[str] = None
 
     def to_dict(self) -> dict:
         return {
@@ -273,25 +280,29 @@ class DiagnosticsSpec:
             "checkpoint_interval": self.checkpoint_interval,
             "checkpoint_path": self.checkpoint_path,
             "record_jdote": self.record_jdote,
+            "stream_path": self.stream_path,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping, path: str) -> "DiagnosticsSpec":
         _reject_unknown(
             data, path,
-            ("energy_interval", "checkpoint_interval", "checkpoint_path", "record_jdote"),
+            ("energy_interval", "checkpoint_interval", "checkpoint_path",
+             "record_jdote", "stream_path"),
         )
-        ckpt = data.get("checkpoint_path")
-        if ckpt is not None and not isinstance(ckpt, str):
-            raise SpecError(f"{path}.checkpoint_path", f"expected a string, got {ckpt!r}")
+        for key in ("checkpoint_path", "stream_path"):
+            val = data.get(key)
+            if val is not None and not isinstance(val, str):
+                raise SpecError(f"{path}.{key}", f"expected a string, got {val!r}")
         record = data.get("record_jdote", False)
         if not isinstance(record, bool):
             raise SpecError(f"{path}.record_jdote", f"expected a boolean, got {record!r}")
         return cls(
             energy_interval=_num(data.get("energy_interval", 1), f"{path}.energy_interval", integer=True),
             checkpoint_interval=_num(data.get("checkpoint_interval", 0), f"{path}.checkpoint_interval", integer=True),
-            checkpoint_path=ckpt,
+            checkpoint_path=data.get("checkpoint_path"),
             record_jdote=record,
+            stream_path=data.get("stream_path"),
         )
 
     def validate(self, path: str) -> None:
@@ -316,6 +327,7 @@ class SimulationSpec:
     cfl: float = 0.9
     scheme: str = "modal"
     stepper: str = "ssp-rk3"
+    backend: str = "numpy"
     t_end: float = 10.0
     steps: Optional[int] = None
     epsilon0: float = 1.0
@@ -324,8 +336,8 @@ class SimulationSpec:
 
     _FIELDS = (
         "name", "model", "conf_grid", "species", "field", "poly_order", "family",
-        "cfl", "scheme", "stepper", "t_end", "steps", "epsilon0", "neutralize",
-        "diagnostics",
+        "cfl", "scheme", "stepper", "backend", "t_end", "steps", "epsilon0",
+        "neutralize", "diagnostics",
     )
 
     # ------------------------------------------------------------------ #
@@ -341,6 +353,7 @@ class SimulationSpec:
             "cfl": self.cfl,
             "scheme": self.scheme,
             "stepper": self.stepper,
+            "backend": self.backend,
             "t_end": self.t_end,
             "steps": self.steps,
             "epsilon0": self.epsilon0,
@@ -381,6 +394,7 @@ class SimulationSpec:
             cfl=_num(data.get("cfl", 0.9), f"{path}.cfl"),
             scheme=data.get("scheme", "modal"),
             stepper=data.get("stepper", "ssp-rk3"),
+            backend=data.get("backend", "numpy"),
             t_end=_num(data.get("t_end", 10.0), f"{path}.t_end"),
             steps=None if steps is None else _num(steps, f"{path}.steps", integer=True),
             epsilon0=_num(data.get("epsilon0", 1.0), f"{path}.epsilon0"),
@@ -416,6 +430,12 @@ class SimulationSpec:
                 f"{path}.stepper",
                 f"unknown stepper {self.stepper!r} (known: {', '.join(STEPPERS)})",
             )
+        from ..engine.backend import get_backend
+
+        try:
+            get_backend(self.backend)
+        except (ValueError, TypeError) as exc:
+            raise SpecError(f"{path}.backend", str(exc)) from exc
         from ..basis.multiindex import FAMILIES
 
         if self.family not in FAMILIES:

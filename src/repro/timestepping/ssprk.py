@@ -6,16 +6,27 @@ provided for convergence studies and cost accounting.  Steppers operate on
 *states*: flat dictionaries mapping names to NumPy arrays, combined
 elementwise — this keeps multi-species + field systems in lockstep through
 the stages exactly as Gkeyll's App system does.
+
+Two stepping interfaces are provided:
+
+* :meth:`step` — functional: returns a fresh state dict (allocates).
+* :meth:`step_inplace` — buffer-donating: mutates the state arrays using
+  persistent per-stepper workspaces (a state snapshot and one stage-RHS
+  buffer set, allocated on first use), and evaluates the RHS through a
+  ``rhs_into(state, out_state)`` callback that fills donated arrays.  A
+  steady-state SSP-RK3 step then performs zero avoidable allocations —
+  every stage combination is an in-place axpy.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 State = Dict[str, np.ndarray]
 RhsFn = Callable[[State], State]
+RhsIntoFn = Callable[[State, State], None]
 
 __all__ = ["ForwardEuler", "SSPRK2", "SSPRK3", "get_stepper", "state_axpy"]
 
@@ -32,7 +43,37 @@ def state_axpy(coeffs_states) -> State:
     return out
 
 
-class ForwardEuler:
+class _WorkspaceMixin:
+    """Persistent stage buffers keyed by the state's names and shapes."""
+
+    _workspaces: Optional[Dict[str, State]] = None
+
+    def _work(self, name: str, state: State) -> State:
+        if self._workspaces is None:
+            self._workspaces = {}
+        ws = self._workspaces.get(name)
+        if ws is None or set(ws) != set(state) or any(
+            ws[k].shape != state[k].shape for k in state
+        ):
+            ws = {k: np.empty_like(v) for k, v in state.items()}
+            self._workspaces[name] = ws
+        return ws
+
+
+def _snapshot(state: State, into: State) -> None:
+    for k, v in state.items():
+        np.copyto(into[k], v)
+
+
+def _axpy_inplace(state: State, dt: float, k: State) -> None:
+    """``state += dt * k`` reusing ``k`` as scratch (k is consumed)."""
+    for key, arr in state.items():
+        kk = k[key]
+        kk *= dt
+        arr += kk
+
+
+class ForwardEuler(_WorkspaceMixin):
     """First-order explicit Euler (also the unit of the paper's cost metric)."""
 
     order = 1
@@ -42,8 +83,13 @@ class ForwardEuler:
         k1 = rhs(state)
         return {k: state[k] + dt * k1[k] for k in state}
 
+    def step_inplace(self, state: State, rhs_into: RhsIntoFn, dt: float) -> None:
+        k = self._work("k", state)
+        rhs_into(state, k)
+        _axpy_inplace(state, dt, k)
 
-class SSPRK2:
+
+class SSPRK2(_WorkspaceMixin):
     """Two-stage, second-order SSP-RK (Heun form)."""
 
     order = 2
@@ -55,8 +101,22 @@ class SSPRK2:
         k2 = rhs(s1)
         return {k: 0.5 * state[k] + 0.5 * (s1[k] + dt * k2[k]) for k in state}
 
+    def step_inplace(self, state: State, rhs_into: RhsIntoFn, dt: float) -> None:
+        u0 = self._work("u0", state)
+        k = self._work("k", state)
+        _snapshot(state, u0)
+        rhs_into(state, k)
+        _axpy_inplace(state, dt, k)          # s1
+        rhs_into(state, k)
+        _axpy_inplace(state, dt, k)          # s1 + dt k2
+        for key, arr in state.items():
+            arr *= 0.5
+            kk = k[key]
+            np.multiply(u0[key], 0.5, out=kk)
+            arr += kk
 
-class SSPRK3:
+
+class SSPRK3(_WorkspaceMixin):
     """Three-stage, third-order SSP-RK (Shu–Osher) — the paper's stepper."""
 
     order = 3
@@ -71,6 +131,27 @@ class SSPRK3:
         return {
             k: state[k] / 3.0 + (2.0 / 3.0) * (s2[k] + dt * k3[k]) for k in state
         }
+
+    def step_inplace(self, state: State, rhs_into: RhsIntoFn, dt: float) -> None:
+        u0 = self._work("u0", state)
+        k = self._work("k", state)
+        _snapshot(state, u0)
+        rhs_into(state, k)
+        _axpy_inplace(state, dt, k)          # s1 = u0 + dt k1
+        rhs_into(state, k)
+        _axpy_inplace(state, dt, k)          # s1 + dt k2
+        for key, arr in state.items():       # s2 = 3/4 u0 + 1/4 (...)
+            arr *= 0.25
+            kk = k[key]
+            np.multiply(u0[key], 0.75, out=kk)
+            arr += kk
+        rhs_into(state, k)
+        _axpy_inplace(state, dt, k)          # s2 + dt k3
+        for key, arr in state.items():       # u = 1/3 u0 + 2/3 (...)
+            arr *= 2.0 / 3.0
+            kk = k[key]
+            np.multiply(u0[key], 1.0 / 3.0, out=kk)
+            arr += kk
 
 
 _STEPPERS = {

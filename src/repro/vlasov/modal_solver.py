@@ -15,6 +15,13 @@ makes the mass matrix the identity), and every integral entering the update
 was computed exactly at generation time — eliminating the aliasing errors
 that destabilize nodal kinetic schemes.
 
+Every kernel — streaming and acceleration, volume and surface — is executed
+through the precompiled-plan engine (:mod:`repro.engine`): plans are
+compiled once per (termset, aux signature, cell shape), all temporaries come
+from one solver-owned scratch pool, and the dense batched products route
+through a pluggable :class:`~repro.engine.backend.ArrayBackend`, so the
+steady-state RHS performs no avoidable allocation.
+
 Numerical fluxes follow Juno et al. (2018) / Gkeyll:
 
 * configuration-space faces: upwind on the sign of the cell-center velocity
@@ -29,13 +36,16 @@ Numerical fluxes follow Juno et al. (2018) / Gkeyll:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
+from ..engine.backend import ArrayBackend, get_backend
+from ..engine.pool import ScratchPool
 from ..grid.phase import PhaseGrid
 from ..kernels.grouped import GroupedOperator
 from ..kernels.registry import get_vlasov_kernels
+from ..kernels.termset import merge_termsets, stack_termsets
 
 __all__ = ["VlasovModalSolver"]
 
@@ -55,6 +65,9 @@ class VlasovModalSolver:
     velocity_flux:
         ``"central"`` (energy conserving, the paper's choice) or
         ``"penalty"`` (adds a local Lax-type jump penalty).
+    backend:
+        Array-execution backend name or instance (default ``"numpy"``); see
+        :mod:`repro.engine.backend`.
     """
 
     def __init__(
@@ -65,6 +78,7 @@ class VlasovModalSolver:
         charge: float = -1.0,
         mass: float = 1.0,
         velocity_flux: str = "central",
+        backend: Union[str, ArrayBackend, None] = None,
     ):
         if velocity_flux not in ("central", "penalty"):
             raise ValueError("velocity_flux must be 'central' or 'penalty'")
@@ -74,6 +88,8 @@ class VlasovModalSolver:
         self.charge = float(charge)
         self.mass = float(mass)
         self.velocity_flux = velocity_flux
+        self.backend = get_backend(backend)
+        self.pool = ScratchPool()
         self.kernels = get_vlasov_kernels(
             phase_grid.cdim, phase_grid.vdim, poly_order, family
         )
@@ -81,6 +97,12 @@ class VlasovModalSolver:
         self.num_conf_basis = self.kernels.cfg_basis.num_basis
         self._base_aux = phase_grid.base_aux()
         self._base_aux["qm"] = self.charge / self.mass
+        # working aux dict refreshed in place by field_aux (geometry symbols
+        # plus views of the EM coefficients); the views are rebuilt only when
+        # a different em array is passed — under in-place stepping the same
+        # array arrives every stage, so they persist
+        self._aux = dict(self._base_aux)
+        self._aux_src: Optional[np.ndarray] = None
         # Streaming upwind weights per configuration direction: the sign of
         # the paired velocity coordinate at the cell center; 0.5 for cells
         # straddling v = 0 (central fallback).
@@ -89,15 +111,45 @@ class VlasovModalSolver:
             w = phase_grid.velocity_center_array(j)
             pos = np.where(w > 0, 1.0, np.where(w < 0, 0.0, 0.5))
             self._upwind_pos.append(pos)
-        # Field-coupled (acceleration) kernels carry O(Npc) symbol terms;
-        # evaluate them through the batched grouped path (same exact
-        # coefficients, BLAS-friendly — see repro.kernels.grouped).
+        # Every termset runs through a plan-cached GroupedOperator sharing
+        # one scratch pool and backend: the field-coupled (acceleration)
+        # kernels compile to batched dense products, the streaming kernels
+        # keep their exact sparsity and gain in-place accumulation.  Kernels
+        # consuming the same state are merged so each application makes one
+        # pass: all volume kernels form a single operator, and the two face
+        # kernels reading one trace state are row-stacked into a
+        # double-height operator whose halves are the left-/right-cell
+        # increments.
         cdim, vdim = phase_grid.cdim, phase_grid.vdim
-        self._vol_accel_ops = [
-            GroupedOperator(ts, cdim, vdim) for ts in self.kernels.vol_accel
+
+        def _op(ts):
+            return GroupedOperator(
+                ts, cdim, vdim, backend=self.backend, pool=self.pool
+            )
+
+        self._vol_op = _op(
+            merge_termsets(self.kernels.vol_stream + self.kernels.vol_accel)
+        )
+        self._surf_stream_ops = [
+            {side: _op(ts) for side, ts in sides.items()}
+            for sides in self.kernels.surf_stream
         ]
+        # per velocity dim: operator for the left trace (stacked increments
+        # to the face's left and right cells) and for the right trace, with
+        # the central-flux 1/2 folded into the generated coefficients
         self._surf_accel_ops = [
-            {side: GroupedOperator(ts, cdim, vdim) for side, ts in sides.items()}
+            {
+                "L": _op(
+                    stack_termsets(
+                        [sides[("L", "L")].scaled(0.5), sides[("R", "L")].scaled(0.5)]
+                    )
+                ),
+                "R": _op(
+                    stack_termsets(
+                        [sides[("L", "R")].scaled(0.5), sides[("R", "R")].scaled(0.5)]
+                    )
+                ),
+            }
             for sides in self.kernels.surf_accel
         ]
 
@@ -112,8 +164,13 @@ class VlasovModalSolver:
         em:
             EM modal coefficients, shape ``(>=6, Npc, *cfg_cells)`` ordered
             ``(Ex, Ey, Ez, Bx, By, Bz, ...)``.
+
+        The returned dict is owned by the solver and refreshed in place on
+        every call; the field entries are views into ``em``.
         """
-        aux = dict(self._base_aux)
+        aux = self._aux
+        if em is self._aux_src:
+            return aux
         g = self.grid
         npc = self.num_conf_basis
         if em.shape[0] < 6 or em.shape[1] != npc:
@@ -124,6 +181,7 @@ class VlasovModalSolver:
             for k in range(npc):
                 aux[f"E{comp}_{k}"] = g.conf_coefficient_array(em[comp, k])
                 aux[f"B{comp}_{k}"] = g.conf_coefficient_array(em[3 + comp, k])
+        self._aux_src = em
         return aux
 
     # ------------------------------------------------------------------ #
@@ -144,7 +202,7 @@ class VlasovModalSolver:
         em:
             EM coefficients ``(>=6, Npc, *cfg_cells)``.
         out:
-            Optional output array (zeroed and filled).
+            Optional output array (contents discarded and replaced).
         """
         g = self.grid
         if f.shape != (self.num_basis,) + g.cells:
@@ -152,9 +210,7 @@ class VlasovModalSolver:
                 f"f has shape {f.shape}, expected {(self.num_basis,) + g.cells}"
             )
         if out is None:
-            out = np.zeros_like(f)
-        else:
-            out.fill(0.0)
+            out = np.empty_like(f)
         aux = self.field_aux(em)
         self._accumulate_volume(f, aux, out)
         self._accumulate_streaming_surfaces(f, aux, out)
@@ -162,33 +218,36 @@ class VlasovModalSolver:
         return out
 
     def _accumulate_volume(self, f, aux, out) -> None:
-        for ts in self.kernels.vol_stream:
-            ts.apply(f, aux, out)
-        for op in self._vol_accel_ops:
-            op.apply(f, aux, out)
+        # the volume operator owns the first write into out (no zero pass)
+        self._vol_op.apply(f, aux, out, accumulate=False)
 
     def _accumulate_streaming_surfaces(self, f, aux, out) -> None:
         """Periodic, upwinded configuration-space face terms."""
+        f_left = self.pool.get("solver.fl", f.shape)
+        f_right = self.pool.get("solver.fr", f.shape)
         for j in range(self.grid.cdim):
             axis = 1 + j
-            sides = self.kernels.surf_stream[j]
+            sides = self._surf_stream_ops[j]
             pos = self._upwind_pos[j]
             neg = 1.0 - pos
-            f_left = f * pos          # weighted left state at each face
-            f_right = np.roll(f, -1, axis=axis) * neg
+            # weighted left/right states at each face (f_right rolled to
+            # align with the face's left cell)
+            np.multiply(f, pos, out=f_left)
+            _roll_mul(f, -1, axis, neg, out=f_right)
             # increments to the left cell of each face (aligned with f)
             sides[("L", "L")].apply(f_left, aux, out)
             sides[("L", "R")].apply(f_right, aux, out)
             # increments to the right cell of each face (shift back by one)
-            buf = np.zeros_like(out)
-            sides[("R", "L")].apply(f_left, aux, buf)
+            buf = self.pool.get("solver.surfbuf", out.shape)
+            sides[("R", "L")].apply(f_left, aux, buf, accumulate=False)
             sides[("R", "R")].apply(f_right, aux, buf)
-            out += np.roll(buf, 1, axis=axis)
+            _add_rolled(buf, 1, axis, out)
 
     def _accumulate_acceleration_surfaces(self, f, aux, out) -> None:
         """Central-flux velocity-space face terms with zero-flux domain
-        boundaries (interior faces only)."""
-        half = 0.5
+        boundaries (interior faces only).  The face-trace slices feed the
+        plans directly (strided gather); the flux 1/2 lives in the stacked
+        kernel coefficients."""
         for j in range(self.grid.vdim):
             axis = 1 + self.grid.cdim + j
             n = f.shape[axis]
@@ -197,24 +256,48 @@ class VlasovModalSolver:
             sides = self._surf_accel_ops[j]
             sl_lo = _axis_slice(f.ndim, axis, slice(0, n - 1))
             sl_hi = _axis_slice(f.ndim, axis, slice(1, n))
-            f_left = np.ascontiguousarray(f[sl_lo]) * half
-            f_right = np.ascontiguousarray(f[sl_hi]) * half
-            inc_left = np.zeros_like(f_left)
-            sides[("L", "L")].apply(f_left, aux, inc_left)
-            sides[("L", "R")].apply(f_right, aux, inc_left)
-            inc_right = np.zeros_like(f_left)
-            sides[("R", "L")].apply(f_left, aux, inc_right)
-            sides[("R", "R")].apply(f_right, aux, inc_right)
-            if self.velocity_flux == "penalty":
-                tau = self._penalty_speed(aux, j)
-                # flux correction -(tau/2)(f_R - f_L): state weights +-tau/2
-                corr_l = (f[sl_lo] * (0.5 * tau))
-                corr_r = (f[sl_hi] * (-0.5 * tau))
-                for t_side, inc in (("L", inc_left), ("R", inc_right)):
-                    self._face_mass(j)[(t_side, "L")].apply(corr_l, aux, inc)
-                    self._face_mass(j)[(t_side, "R")].apply(corr_r, aux, inc)
-            out[sl_lo] += inc_left
-            out[sl_hi] += inc_right
+            face_cells = f[sl_lo].shape[1:]
+            npb = self.num_basis
+            # the cell-major carry needs fully configuration-batched plans;
+            # degenerate layouts (e.g. a single configuration cell, whose
+            # field coefficients classify as scalars) take the stacked
+            # phase-major path instead, as does the penalty flux (its sparse
+            # face-mass corrections accumulate in phase-major layout)
+            cellmajor = self.velocity_flux != "penalty" and all(
+                sides[s].plan_fast(aux, face_cells).is_pure_cfg for s in "LR"
+            )
+            if not cellmajor:
+                stacked = self.pool.get("solver.astack", (2 * npb,) + face_cells)
+                sides["L"].apply(f[sl_lo], aux, stacked, accumulate=False)
+                sides["R"].apply(f[sl_hi], aux, stacked)
+                inc_left = stacked[:npb]
+                inc_right = stacked[npb:]
+                if self.velocity_flux == "penalty":
+                    tau = self._penalty_speed(aux, j)
+                    # flux correction -(tau/2)(f_R - f_L): weights +-tau/2
+                    corr_l = (f[sl_lo] * (0.5 * tau))
+                    corr_r = (f[sl_hi] * (-0.5 * tau))
+                    for t_side, inc in (("L", inc_left), ("R", inc_right)):
+                        self._face_mass(j)[(t_side, "L")].apply(corr_l, aux, inc)
+                        self._face_mass(j)[(t_side, "R")].apply(corr_r, aux, inc)
+                out[sl_lo] += inc_left
+                out[sl_hi] += inc_right
+                continue
+            # cell-major carry: both trace applications land in one buffer
+            # whose halves are scatter-added to the face's two cells — the
+            # stacked result is never materialized in phase-major layout
+            cdim = self.grid.cdim
+            cfg_cells = face_cells[:cdim]
+            ncfg = int(np.prod(cfg_cells)) if cfg_cells else 1
+            nvel = int(np.prod(face_cells[cdim:]))
+            outc = self.pool.get("solver.aoutc", (ncfg, 2 * npb, nvel))
+            sides["L"].apply_cellmajor(f[sl_lo], aux, outc, accumulate=False)
+            sides["R"].apply_cellmajor(f[sl_hi], aux, outc)
+            inc = np.moveaxis(
+                outc.reshape(cfg_cells + (2 * npb,) + face_cells[cdim:]), cdim, 0
+            )
+            out[sl_lo] += inc[:npb]
+            out[sl_hi] += inc[npb:]
 
     # ------------------------------------------------------------------ #
     # penalty support (optional robustness flux)
@@ -289,3 +372,40 @@ def _axis_slice(ndim: int, axis: int, sl: slice):
     out = [slice(None)] * ndim
     out[axis] = sl
     return tuple(out)
+
+
+def _roll_mul(src: np.ndarray, shift: int, axis: int, weight, out: np.ndarray):
+    """``out = roll(src, shift, axis) * weight`` without temporaries.
+
+    ``weight`` must broadcast against ``src`` with size one along ``axis``
+    (true for the velocity-dependent upwind weights rolled along a
+    configuration axis).
+    """
+    n = src.shape[axis]
+    shift %= n
+    if shift == 0:
+        np.multiply(src, weight, out=out)
+        return out
+    dst_head = _axis_slice(src.ndim, axis, slice(0, shift))
+    dst_tail = _axis_slice(src.ndim, axis, slice(shift, n))
+    src_head = _axis_slice(src.ndim, axis, slice(n - shift, n))
+    src_tail = _axis_slice(src.ndim, axis, slice(0, n - shift))
+    np.multiply(src[src_head], weight, out=out[dst_head])
+    np.multiply(src[src_tail], weight, out=out[dst_tail])
+    return out
+
+
+def _add_rolled(src: np.ndarray, shift: int, axis: int, out: np.ndarray):
+    """``out += roll(src, shift, axis)`` without temporaries."""
+    n = src.shape[axis]
+    shift %= n
+    if shift == 0:
+        out += src
+        return out
+    out[_axis_slice(src.ndim, axis, slice(0, shift))] += src[
+        _axis_slice(src.ndim, axis, slice(n - shift, n))
+    ]
+    out[_axis_slice(src.ndim, axis, slice(shift, n))] += src[
+        _axis_slice(src.ndim, axis, slice(0, n - shift))
+    ]
+    return out

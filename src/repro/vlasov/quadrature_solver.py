@@ -23,6 +23,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..basis.modal import ModalBasis, tensor_gauss_points
+from ..engine.backend import ArrayBackend, get_backend
+from ..engine.pool import ScratchPool
 from ..grid.phase import PhaseGrid
 from ..kernels.flops import alias_free_quadrature_points_1d
 
@@ -46,12 +48,18 @@ class VlasovQuadratureSolver:
         charge: float = -1.0,
         mass: float = 1.0,
         quad_points_1d: Optional[int] = None,
+        backend: "ArrayBackend | str | None" = None,
     ):
         self.grid = phase_grid
         self.poly_order = int(poly_order)
         self.family = family
         self.charge = float(charge)
         self.mass = float(mass)
+        # interpolation/projection matrices are fixed at construction (the
+        # quadrature analogue of a compiled plan); the backend and pool
+        # cover the dense products and their scratch
+        self.backend = get_backend(backend)
+        self.pool = ScratchPool()
         pdim = phase_grid.pdim
         cdim = phase_grid.cdim
         self.basis = ModalBasis(pdim, poly_order, family)
@@ -155,14 +163,29 @@ class VlasovQuadratureSolver:
         rdx = [2.0 / dx for dx in g.dx]
 
         # ---------------- volume ----------------------------------------
-        fq = np.einsum("lq,l...->q...", self.vol_interp, f)
+        # interpolate to quadrature points via one pooled dense product
+        nq = self.vol_pts.shape[0]
+        fq = self.pool.get("quad.fq", (nq,) + g.cells)
+        self.backend.gemm(
+            self.vol_interp.T,
+            f.reshape(self.num_basis, -1),
+            out=fq.reshape(nq, -1),
+        )
         wshape = (-1,) + (1,) * pdim
         wq = self.vol_wts.reshape(wshape)
+        flux = self.pool.get("quad.flux", (nq,) + g.cells)
+        proj = self.pool.get("quad.proj", (self.num_basis,) + g.cells)
         for d in range(pdim):
             alpha = self._alpha_at_points(d, self.vol_pts, self.cfg_vol_interp, em)
-            out += rdx[d] * np.einsum(
-                "lq,q...->l...", self.vol_deriv[d], wq * alpha * fq
+            np.multiply(alpha, fq, out=flux)
+            flux *= wq
+            self.backend.gemm(
+                self.vol_deriv[d],
+                flux.reshape(nq, -1),
+                out=proj.reshape(self.num_basis, -1),
             )
+            proj *= rdx[d]
+            out += proj
 
         # ---------------- surfaces --------------------------------------
         for d in range(pdim):

@@ -1,0 +1,121 @@
+"""Incremental JSONL diagnostics streaming and backend selection through the
+runtime layer (spec field, driver pass-through, CLI flag)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import Driver, SpecError, build, build_app
+from repro.runtime.cli import main
+
+
+def _read_jsonl(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+def test_driver_streams_diagnostics_jsonl(tmp_path):
+    spec = build("two_stream", nx=4, nv=8, steps=4)
+    driver = Driver(spec, outdir=tmp_path)
+    driver.run()
+    path = tmp_path / "diagnostics.jsonl"
+    assert driver.stream_path == path
+    records = _read_jsonl(path)
+    # one record per history entry, matching the in-memory history exactly
+    assert len(records) == len(driver.history.times)
+    assert [r["time"] for r in records] == driver.history.times
+    assert [r["field_energy"] for r in records] == driver.history.field_energy
+    assert records[-1]["step"] == driver.app.step_count
+    assert records[0]["particle_energy"]["elc"] == driver.history.particle_energy["elc"][0]
+
+
+def test_stream_path_spec_override(tmp_path):
+    target = tmp_path / "sub" / "diag.jsonl"
+    spec = build("two_stream", nx=4, nv=8, steps=2).with_overrides(
+        {"diagnostics.stream_path": str(target)}
+    )
+    Driver(spec).run()
+    assert len(_read_jsonl(target)) == 3  # t=0 plus two steps
+
+
+def test_stream_appends_across_resume(tmp_path):
+    spec = build("two_stream", nx=4, nv=8, steps=2)
+    Driver(spec, outdir=tmp_path).run()
+    n_first = len(_read_jsonl(tmp_path / "diagnostics.jsonl"))
+    resumed = Driver.from_checkpoint(
+        tmp_path / "checkpoint.npz", outdir=tmp_path, overrides={"steps": 4}
+    )
+    resumed.run()
+    records = _read_jsonl(tmp_path / "diagnostics.jsonl")
+    assert len(records) > n_first
+    assert records[-1]["step"] == 4
+
+
+def test_fresh_run_truncates_stale_stream(tmp_path):
+    """A new (non-resumed) driver must not append after an older run's
+    records; only checkpoint resumes continue the file."""
+    spec = build("two_stream", nx=4, nv=8, steps=2)
+    Driver(spec, outdir=tmp_path).run()
+    first = _read_jsonl(tmp_path / "diagnostics.jsonl")
+    Driver(spec, outdir=tmp_path).run()
+    again = _read_jsonl(tmp_path / "diagnostics.jsonl")
+    assert len(again) == len(first)
+    assert again[0]["time"] == 0.0
+
+
+def test_no_streaming_without_outdir_or_path():
+    spec = build("two_stream", nx=4, nv=8, steps=1)
+    driver = Driver(spec)
+    assert driver.stream_path is None
+    driver.run()  # must not crash
+
+
+# --------------------------------------------------------------------- #
+def test_spec_backend_roundtrip_and_validation():
+    spec = build("two_stream", nx=4, nv=8)
+    assert spec.backend == "numpy"
+    spec2 = spec.with_overrides({"backend": "threaded:2"})
+    assert spec2.backend == "threaded:2"
+    assert spec2.to_dict()["backend"] == "threaded:2"
+    with pytest.raises(SpecError, match="backend"):
+        spec.with_overrides({"backend": "cuda"})
+    # malformed worker suffixes fail at validation, not deep in the solver
+    with pytest.raises(SpecError, match="backend"):
+        spec.with_overrides({"backend": "threaded:four"})
+    with pytest.raises(SpecError, match="backend"):
+        spec.with_overrides({"backend": "threaded:0"})
+
+
+def test_backend_reaches_solver_and_results_match():
+    base = build("two_stream", nx=4, nv=8, steps=3)
+    app_n = build_app(base)
+    app_t = build_app(base.with_overrides({"backend": "threaded:2"}))
+    assert app_t.solvers["elc"].backend.name == "threaded"
+    for _ in range(3):
+        dt = min(app_n.suggested_dt(), app_t.suggested_dt())
+        app_n.step(dt)
+        app_t.step(dt)
+    fn, ft = app_n.f["elc"], app_t.f["elc"]
+    scale = max(np.max(np.abs(fn)), 1.0)
+    assert np.max(np.abs(fn - ft)) / scale < 1e-12
+
+
+def test_cli_backend_flag(tmp_path, capsys):
+    rc = main(
+        [
+            "run", "two_stream", "--backend", "numpy", "--json",
+            "--set", "steps=2", "--set", "nx=4", "--set", "nv=8",
+            "--outdir", str(tmp_path),
+        ]
+    )
+    assert rc == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["steps"] == 2
+    assert (tmp_path / "diagnostics.jsonl").exists()
+
+
+def test_cli_rejects_unknown_backend(capsys):
+    rc = main(["run", "two_stream", "--backend", "gpu", "--set", "steps=1"])
+    assert rc == 2
+    assert "backend" in capsys.readouterr().err
