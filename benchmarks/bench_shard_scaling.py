@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Real process-shard scaling: measured RHS/full-step speedup vs serial.
+
+Runs the Weibel 2X2V configuration (the paper's flagship multi-dimensional
+benchmark) serially and under ``process:N`` sharding for each requested
+shard count, and reports
+
+* RHS-only and full-step wall times + speedups (real concurrent execution,
+  not the Fig. 3 analytic model),
+* **measured** halo traffic per step (distribution-function and EM bytes,
+  counted by the workers as they copy ghost slabs out of shared memory)
+  next to the Fig. 3 model's prediction for the same decomposition
+  (``ShardPlan.model_halo_doubles``), closing the loop on the paper's
+  communication model,
+* a bitwise serial-vs-sharded check on the final state (the runs are
+  required to agree exactly; any mismatch aborts).
+
+Speedup > 1 needs real cores: on a single-core machine the sharded runs
+only add orchestration overhead (the bitwise and byte-accounting checks
+remain meaningful).  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py             # full
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --smoke    # CI
+    ... --shards 2 4 8 --steps 10 --json shard.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.dist import ShardPlan
+from repro.runtime import build
+from repro.runtime.driver import build_app
+
+
+def _time_steps(app, dt: float, steps: int) -> float:
+    start = time.perf_counter()
+    for _ in range(steps):
+        app.step(dt)
+    return (time.perf_counter() - start) / steps
+
+
+def _time_rhs(app, reps: int) -> float:
+    if hasattr(app, "rhs_pass"):
+        app.rhs_pass()  # warm up worker plans
+        start = time.perf_counter()
+        for _ in range(reps):
+            app.rhs_pass()
+        return (time.perf_counter() - start) / reps
+    state = app.state()
+    out = {k: np.empty_like(v) for k, v in state.items()}
+    app.rhs(state, out=out)  # warm up compiled plans
+    start = time.perf_counter()
+    for _ in range(reps):
+        app.rhs(state, out=out)
+    return (time.perf_counter() - start) / reps
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="weibel_2x2v")
+    parser.add_argument("--shards", type=int, nargs="+", default=[2, 4])
+    parser.add_argument("--steps", type=int, default=6, help="timed full steps")
+    parser.add_argument("--rhs-reps", type=int, default=8, help="timed RHS calls")
+    parser.add_argument("--nx", type=int, default=12)
+    parser.add_argument("--nv", type=int, default=16)
+    parser.add_argument("--poly-order", type=int, default=2)
+    parser.add_argument("--smoke", action="store_true", help="reduced CI size")
+    parser.add_argument("--json", default=None, help="write results to this file")
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        help="fail unless the best full-step speedup reaches this factor "
+        "(leave unset on shared/single-core machines)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        args.nx, args.nv, args.poly_order = 6, 8, 1
+        args.steps, args.rhs_reps = 3, 3
+        args.shards = [s for s in args.shards if s <= 4]
+
+    spec = build(
+        args.scenario, nx=args.nx, nv=args.nv, poly_order=args.poly_order
+    )
+    print(
+        f"config: {args.scenario} nx={args.nx} nv={args.nv} p={args.poly_order} "
+        f"({os.cpu_count()} CPUs)"
+    )
+
+    serial = build_app(spec)
+    dt = 0.5 * serial.suggested_dt()  # fixed dt so every run does equal work
+    t_rhs_serial = _time_rhs(serial, args.rhs_reps)
+    t_step_serial = _time_steps(serial, dt, args.steps)
+    ref_state = {k: np.array(v) for k, v in serial.state().items()}
+    print(
+        f"serial         : rhs {1e3 * t_rhs_serial:8.2f} ms   "
+        f"step {1e3 * t_step_serial:8.2f} ms"
+    )
+
+    results = {
+        "config": {
+            "scenario": args.scenario, "nx": args.nx, "nv": args.nv,
+            "poly_order": args.poly_order, "steps": args.steps,
+            "cpus": os.cpu_count(),
+        },
+        "serial": {"rhs_s": t_rhs_serial, "step_s": t_step_serial},
+        "shards": [],
+    }
+    stages = {"ssp-rk3": 3, "ssp-rk2": 2, "forward-euler": 1}[spec.stepper]
+    best = 0.0
+    for n in args.shards:
+        app = build_app(spec.with_overrides({"backend": f"process:{n}"}))
+        try:
+            t_rhs = _time_rhs(app, args.rhs_reps)
+            base = app.halo_stats["f"]["doubles"]
+            t_step = _time_steps(app, dt, args.steps)
+            halo = app.halo_stats
+            f_doubles_per_step = (halo["f"]["doubles"] - base) / args.steps
+            em_doubles_per_step = halo["em"]["doubles"] / (args.rhs_reps + 1 + args.steps * stages) * stages
+            # bitwise check: same number of equal-dt steps from the same state
+            mismatch = [
+                k for k, v in app.state().items()
+                if not np.array_equal(ref_state[k], v)
+            ]
+            if mismatch:
+                raise SystemExit(
+                    f"FAIL: process:{n} diverged from serial in {mismatch}"
+                )
+            plan = ShardPlan.create(spec.conf_grid.cells, n)
+            nvel = spec.species[0].velocity_grid.cells
+            npb = app.solvers[spec.species[0].name].num_basis
+            model = plan.model_halo_doubles(npb, nvel) * stages
+            su_rhs = t_rhs_serial / t_rhs
+            su_step = t_step_serial / t_step
+            best = max(best, su_step)
+            print(
+                f"process:{n:<6d} : rhs {1e3 * t_rhs:8.2f} ms ({su_rhs:4.2f}x)  "
+                f"step {1e3 * t_step:8.2f} ms ({su_step:4.2f}x)  "
+                f"halo f {8 * f_doubles_per_step / 1e6:7.3f} MB/step "
+                f"(model {8 * model / 1e6:7.3f}) em {8 * em_doubles_per_step / 1e6:6.3f} MB/step  "
+                f"[bitwise ok]"
+            )
+            results["shards"].append(
+                {
+                    "shards": n,
+                    "rhs_s": t_rhs,
+                    "step_s": t_step,
+                    "rhs_speedup": su_rhs,
+                    "step_speedup": su_step,
+                    "halo_f_doubles_per_step": f_doubles_per_step,
+                    "halo_em_doubles_per_step": em_doubles_per_step,
+                    "model_f_doubles_per_step": model,
+                    "bitwise_equal": True,
+                }
+            )
+        finally:
+            app.close()
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.require_speedup is not None and best < args.require_speedup:
+        print(
+            f"FAIL: best full-step speedup {best:.2f}x "
+            f"< required {args.require_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

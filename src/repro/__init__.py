@@ -26,7 +26,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from .apps.vlasov_maxwell import FieldSpec, Species, VlasovMaxwellApp
+from .apps.vlasov_maxwell import ExternalField, FieldSpec, Species, VlasovMaxwellApp
 from .apps.vlasov_poisson import VlasovPoissonApp
 from .basis.modal import ModalBasis
 from .basis.multiindex import FAMILIES, num_basis
@@ -63,6 +63,7 @@ __all__ = [
     "BGKCollisions",
     "Species",
     "FieldSpec",
+    "ExternalField",
     "VlasovMaxwellApp",
     "VlasovPoissonApp",
     "EnergyHistory",

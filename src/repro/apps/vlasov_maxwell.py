@@ -9,6 +9,7 @@ its generated C++ kernels.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence
@@ -25,7 +26,7 @@ from ..timestepping.ssprk import get_stepper
 from ..vlasov.modal_solver import VlasovModalSolver
 from ..vlasov.quadrature_solver import VlasovQuadratureSolver
 
-__all__ = ["Species", "FieldSpec", "VlasovMaxwellApp"]
+__all__ = ["Species", "FieldSpec", "ExternalField", "VlasovMaxwellApp"]
 
 
 @dataclass
@@ -74,6 +75,37 @@ class FieldSpec:
     evolve: bool = True
 
 
+@dataclass
+class ExternalField:
+    """Prescribed, time-dependent external EM drive.
+
+    The drive is separable: a static spatial profile per component
+    (callables of the configuration coordinates, projected once at app
+    construction) times the scalar envelope
+
+    .. math:: g(t) = \\cos(\\omega t + \\varphi) \\cdot \\min(t/t_{ramp}, 1)
+
+    (the ramp factor applies only when ``ramp > 0``).  The drive
+    accelerates particles — it is added to the self-consistent field seen
+    by the Vlasov solvers and by the CFL estimate — but it is *not*
+    evolved and does not enter the Maxwell update or the field-energy
+    diagnostics.  Within a time step the envelope is frozen at the step's
+    start time (all RK stages see the same drive), keeping the stepper's
+    stage structure field-agnostic.
+    """
+
+    profiles: Dict[str, Callable[..., np.ndarray]]
+    omega: float = 0.0
+    phase: float = 0.0
+    ramp: float = 0.0
+
+    def envelope(self, t: float) -> float:
+        g = math.cos(self.omega * t + self.phase)
+        if self.ramp > 0.0:
+            g *= min(t / self.ramp, 1.0)
+        return g
+
+
 class VlasovMaxwellApp:
     """Multi-species Vlasov–Maxwell simulation driver.
 
@@ -109,6 +141,7 @@ class VlasovMaxwellApp:
         velocity_flux: str = "central",
         ic_quad_order: Optional[int] = None,
         backend: str = "numpy",
+        external: Optional[ExternalField] = None,
     ):
         if scheme not in ("modal", "quadrature"):
             raise ValueError("scheme must be 'modal' or 'quadrature'")
@@ -172,6 +205,14 @@ class VlasovMaxwellApp:
             )
 
         self.em = self.maxwell.project_initial_condition(self.field_spec.initial)
+        self.external = external
+        self._ext_coeffs: Optional[np.ndarray] = None
+        self._ext_buf: Optional[np.ndarray] = None
+        if external is not None:
+            self._ext_coeffs = self.maxwell.project_initial_condition(
+                external.profiles
+            )
+            self._ext_buf = np.empty_like(self._ext_coeffs)
         # persistent coupling buffers (allocated on first RHS)
         self._species_current: Optional[np.ndarray] = None
         self._total_current: Optional[np.ndarray] = None
@@ -226,10 +267,11 @@ class VlasovMaxwellApp:
         if out is None:
             out = {k: np.empty_like(v) for k, v in state.items()}
         em = state["em"] if "em" in state else self.em
+        em_eff = self.effective_em(em)
         for sp in self.species:
             f = state[f"f/{sp.name}"]
             df = out[f"f/{sp.name}"]
-            self.solvers[sp.name].rhs(f, em, out=df)
+            self.solvers[sp.name].rhs(f, em_eff, out=df)
             if sp.collisions is not None:
                 mom = self.moments[sp.name]
                 sp.collisions.rhs(f, mom, out=df, accumulate=True)
@@ -248,6 +290,18 @@ class VlasovMaxwellApp:
             )
         return self._total_current
 
+    def effective_em(self, em: np.ndarray) -> np.ndarray:
+        """The field the particles feel: ``em`` plus the external drive at
+        the current step time (``em`` itself when there is no drive).  The
+        returned array is a persistent buffer refreshed per call."""
+        if self.external is None:
+            return em
+        np.multiply(
+            self._ext_coeffs, self.external.envelope(self.time), out=self._ext_buf
+        )
+        self._ext_buf += em
+        return self._ext_buf
+
     # ------------------------------------------------------------------ #
     # time advance
     # ------------------------------------------------------------------ #
@@ -255,8 +309,9 @@ class VlasovMaxwellApp:
         freq = 0.0
         if self.field_spec.evolve:
             freq += self.maxwell.max_frequency()
+        em_eff = self.effective_em(self.em)
         for sp in self.species:
-            freq = max(freq, self.solvers[sp.name].max_frequency(self.em))
+            freq = max(freq, self.solvers[sp.name].max_frequency(em_eff))
             if sp.collisions is not None:
                 freq = max(freq, sp.collisions.max_frequency())
         if freq <= 0.0:

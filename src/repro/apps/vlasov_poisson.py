@@ -24,7 +24,7 @@ from ..moments.calc import MomentCalculator
 from ..projection import project_phase_function
 from ..timestepping.ssprk import get_stepper
 from ..vlasov.modal_solver import VlasovModalSolver
-from .vlasov_maxwell import Species
+from .vlasov_maxwell import ExternalField, Species
 
 __all__ = ["VlasovPoissonApp"]
 
@@ -49,6 +49,7 @@ class VlasovPoissonApp:
         neutralize: bool = True,
         ic_quad_order: Optional[int] = None,
         backend: str = "numpy",
+        external: Optional[ExternalField] = None,
     ):
         if conf_grid.ndim != 1:
             raise ValueError("VlasovPoissonApp supports 1-D configuration space")
@@ -66,6 +67,19 @@ class VlasovPoissonApp:
 
         self.cfg_basis = ModalBasis(1, poly_order, family)
         self.poisson = Poisson1D(conf_grid, self.cfg_basis, epsilon0)
+        self.external = external
+        self._ext_coeffs: Optional[np.ndarray] = None
+        if external is not None:
+            from ..projection import project_conf_function
+
+            coeffs = np.zeros((8, self.cfg_basis.num_basis) + conf_grid.cells)
+            from ..fields.maxwell import COMPONENT_NAMES
+
+            for name, fn in external.profiles.items():
+                coeffs[COMPONENT_NAMES.index(name)] = project_conf_function(
+                    fn, conf_grid, self.cfg_basis
+                )
+            self._ext_coeffs = coeffs
         self.phase_grids: Dict[str, PhaseGrid] = {}
         self.solvers: Dict[str, VlasovModalSolver] = {}
         self.moments: Dict[str, MomentCalculator] = {}
@@ -93,7 +107,8 @@ class VlasovPoissonApp:
         return rho
 
     def electric_field(self, state: Dict[str, np.ndarray]) -> np.ndarray:
-        """Full EM-state array with only ``Ex`` populated (solver interface).
+        """Full EM-state array with ``Ex`` from the Poisson solve plus any
+        external drive at the current step time (solver interface).
 
         The returned array is a persistent buffer refreshed on every call.
         """
@@ -101,7 +116,13 @@ class VlasovPoissonApp:
         ex = self.poisson.solve(rho)
         if self._em_buf is None:
             self._em_buf = np.zeros((8, self.cfg_basis.num_basis) + self.conf_grid.cells)
-        self._em_buf[0] = ex
+        if self.external is not None:
+            np.multiply(
+                self._ext_coeffs, self.external.envelope(self.time), out=self._em_buf
+            )
+            self._em_buf[0] += ex
+        else:
+            self._em_buf[0] = ex
         return self._em_buf
 
     def state(self) -> Dict[str, np.ndarray]:

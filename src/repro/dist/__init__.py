@@ -1,0 +1,28 @@
+"""repro.dist — real process-sharded execution.
+
+The runtime counterpart of the paper's Sec. IV decomposition: configuration
+-cell blocks run on persistent worker processes with shared-memory halo
+exchange (:class:`ShardedApp`, selected via the ``process[:N]`` backend),
+and campaign entries are dispatched to independent worker processes/hosts
+through lock-file leases on the resumable manifest
+(:func:`claim_loop` / ``repro worker``).
+"""
+
+from .blocks import BlockGrid, BlockMaxwellRHS, BlockSpecies, fill_padded
+from .lease import LeaseLock, claim_loop, prepare_campaign_dir, run_dispatched
+from .plan import HaloStats, ShardPlan
+from .sharded import ShardedApp
+
+__all__ = [
+    "BlockGrid",
+    "BlockMaxwellRHS",
+    "BlockSpecies",
+    "fill_padded",
+    "HaloStats",
+    "ShardPlan",
+    "ShardedApp",
+    "LeaseLock",
+    "claim_loop",
+    "prepare_campaign_dir",
+    "run_dispatched",
+]

@@ -1,0 +1,381 @@
+"""Per-shard block execution: ghost-aware RHS evaluation on sub-grids.
+
+Each worker process owns one configuration-cell block (plus a single ghost
+layer along every decomposed axis) and evaluates the *same* per-cell update
+the serial solvers perform — same compiled-plan structure, same operand
+shapes per cell, same accumulation order — so a sharded run is bit-identical
+to a serial one.  Three things make that work:
+
+* :class:`BlockGrid` gives the block the parent grid's geometry *bitwise*
+  (``dx``, centers, edges are taken from the parent, never recomputed from
+  the block's own bounds, whose floating-point rounding could differ by an
+  ulp and leak into every kernel coefficient);
+* the streaming/Maxwell surface terms are evaluated in a "shifted trace"
+  form: where the serial code rolls a periodic array, the block code reads
+  the same neighbour values out of its ghost layer and accumulates them in
+  the same order;
+* every dense product batches over the block's cells with unchanged
+  per-cell shapes, and the engine's products are per-cell independent.
+
+The serial solvers remain the single source of truth for the per-cell
+math: blocks reuse their compiled operators (``_vol_op``,
+``_surf_stream_ops``, ``_surf_accel_ops``) and private helpers directly
+rather than duplicating them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..grid.cartesian import Grid
+from ..grid.phase import PhaseGrid
+from ..moments.calc import MomentCalculator
+from ..vlasov.modal_solver import VlasovModalSolver, _add_rolled, _roll_mul
+from .plan import HaloStats, ShardPlan
+
+__all__ = ["BlockGrid", "BlockSpecies", "BlockMaxwellRHS", "fill_padded"]
+
+
+class BlockGrid(Grid):
+    """A contiguous sub-block of a parent grid with bitwise-parent geometry.
+
+    ``dx``, ``centers``, ``edges`` and ``cell_center`` delegate to the
+    parent so a solver built on the block sees exactly the numbers the
+    serial solver sees — the block's own ``lower``/``upper`` (kept for
+    repr/validation only) are never used in kernel arithmetic.
+    """
+
+    def __init__(self, parent: Grid, ranges: Sequence[Tuple[int, int]]):
+        ranges = [(int(lo), int(hi)) for lo, hi in ranges]
+        if len(ranges) != parent.ndim:
+            raise ValueError(
+                f"need one (lo, hi) range per dimension ({parent.ndim}), got {len(ranges)}"
+            )
+        for d, (lo, hi) in enumerate(ranges):
+            if not 0 <= lo < hi <= parent.cells[d]:
+                raise ValueError(f"axis {d}: range {(lo, hi)} outside {parent.cells[d]} cells")
+        dx = parent.dx
+        Grid.__init__(
+            self,
+            [parent.lower[d] + lo * dx[d] for d, (lo, _) in enumerate(ranges)],
+            [parent.lower[d] + hi * dx[d] for d, (_, hi) in enumerate(ranges)],
+            [hi - lo for lo, hi in ranges],
+        )
+        object.__setattr__(self, "parent", parent)
+        object.__setattr__(self, "ranges", tuple(ranges))
+
+    @property
+    def dx(self) -> Tuple[float, ...]:
+        return self.parent.dx
+
+    def centers(self, dim: int) -> np.ndarray:
+        lo, hi = self.ranges[dim]
+        return self.parent.centers(dim)[lo:hi]
+
+    def edges(self, dim: int) -> np.ndarray:
+        lo, hi = self.ranges[dim]
+        return self.parent.edges(dim)[lo : hi + 1]
+
+    def cell_center(self, idx: Sequence[int]) -> Tuple[float, ...]:
+        return self.parent.cell_center(
+            [self.ranges[d][0] + int(i) for d, i in enumerate(idx)]
+        )
+
+    def extend(self, other: Grid) -> "BlockGrid":
+        return BlockGrid(
+            self.parent.extend(other),
+            list(self.ranges) + [(0, n) for n in other.cells],
+        )
+
+
+# --------------------------------------------------------------------- #
+def fill_padded(
+    shared: np.ndarray,
+    pad_buf: np.ndarray,
+    offset: int,
+    ranges: Sequence[Tuple[int, int]],
+    pad: Sequence[int],
+    conf_cells: Sequence[int],
+    stats: Optional[HaloStats] = None,
+) -> None:
+    """Copy a shard's block (+ periodic ghost layers) from a globally-shaped
+    array into its padded private buffer.
+
+    ``offset`` is the number of leading non-cell axes (1 for distribution
+    coefficients, 2 for EM components).  Only the ghost slabs count as halo
+    traffic in ``stats`` — the interior copy is a node-local load that a
+    real MPI run would not send.
+    """
+    cdim = len(ranges)
+    lead = (slice(None),) * offset
+    interior = tuple(
+        slice(p, p + hi - lo) for (lo, hi), p in zip(ranges, pad)
+    )
+    own = tuple(slice(lo, hi) for lo, hi in ranges)
+    pad_buf[lead + interior] = shared[lead + own]
+    for d in range(cdim):
+        if not pad[d]:
+            continue
+        n = int(conf_cells[d])
+        lo, hi = ranges[d]
+        nloc = hi - lo
+        for ghost_idx, src_idx in ((0, (lo - 1) % n), (nloc + 1, hi % n)):
+            dst = lead + tuple(
+                slice(ghost_idx, ghost_idx + 1) if dd == d else interior[dd]
+                for dd in range(cdim)
+            )
+            src = lead + tuple(
+                slice(src_idx, src_idx + 1) if dd == d else own[dd]
+                for dd in range(cdim)
+            )
+            ghost = shared[src]
+            pad_buf[dst] = ghost
+            if stats is not None:
+                stats.record(ghost)
+
+
+# --------------------------------------------------------------------- #
+class BlockSpecies:
+    """One species' solver stack on a shard block.
+
+    Wraps a :class:`~repro.vlasov.modal_solver.VlasovModalSolver` built on
+    the block's phase grid and evaluates the Vlasov RHS from the padded
+    state, mirroring the serial solver's volume -> streaming -> acceleration
+    accumulation order bit for bit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        solver: VlasovModalSolver,
+        moments: MomentCalculator,
+        collisions,
+        pad: Tuple[int, ...],
+    ):
+        if solver.velocity_flux != "central":
+            raise ValueError(
+                "process sharding supports the central velocity flux only "
+                "(the penalty speed is a global reduction)"
+            )
+        self.name = name
+        self.solver = solver
+        self.moments = moments
+        self.collisions = collisions
+        self.pad = pad
+        g = solver.grid
+        self.cdim, self.vdim = g.cdim, g.vdim
+        self.cells = g.cells
+        self.pad_cells = (
+            tuple(n + 2 * p for n, p in zip(g.conf.cells, pad)) + g.vel.cells
+        )
+        self._interior = (slice(None),) + tuple(
+            slice(p, p + n) for n, p in zip(g.conf.cells, pad)
+        )
+        self._f_int: Optional[np.ndarray] = None
+
+    def interior(self, f_pad: np.ndarray) -> np.ndarray:
+        """Contiguous copy of the padded state's interior (the block state)."""
+        if self._f_int is None:
+            self._f_int = np.empty((self.solver.num_basis,) + self.cells)
+        np.copyto(self._f_int, f_pad[self._interior])
+        return self._f_int
+
+    def _shift_view(self, f_pad: np.ndarray, axis_j: int, shift: int) -> np.ndarray:
+        """Interior view shifted by ``shift`` cells along config axis j."""
+        sl = [slice(None)] + [
+            slice(p, p + n) for n, p in zip(self.cells[: self.cdim], self.pad)
+        ] + [slice(None)] * self.vdim
+        p = self.pad[axis_j]
+        n = self.cells[axis_j]
+        sl[1 + axis_j] = slice(p + shift, p + shift + n)
+        return f_pad[tuple(sl)]
+
+    def rhs(self, f_pad: np.ndarray, em_block: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``df/dt`` on the block interior (``out`` is interior-shaped)."""
+        solver = self.solver
+        f_int = self.interior(f_pad)
+        aux = solver.field_aux(em_block)
+        solver._accumulate_volume(f_int, aux, out)
+        self._streaming(f_pad, f_int, aux, out)
+        solver._accumulate_acceleration_surfaces(f_int, aux, out)
+        return out
+
+    def _streaming(self, f_pad, f_int, aux, out) -> None:
+        solver = self.solver
+        pool = solver.pool
+        f_left = pool.get("solver.fl", f_int.shape)
+        f_right = pool.get("solver.fr", f_int.shape)
+        for j in range(self.cdim):
+            axis = 1 + j
+            sides = solver._surf_stream_ops[j]
+            pos = solver._upwind_pos[j]
+            neg = 1.0 - pos
+            if not self.pad[j]:
+                # the block spans this axis: the serial periodic-roll path
+                np.multiply(f_int, pos, out=f_left)
+                _roll_mul(f_int, -1, axis, neg, out=f_right)
+                sides[("L", "L")].apply(f_left, aux, out)
+                sides[("L", "R")].apply(f_right, aux, out)
+                buf = pool.get("solver.surfbuf", out.shape)
+                sides[("R", "L")].apply(f_left, aux, buf, accumulate=False)
+                sides[("R", "R")].apply(f_right, aux, buf)
+                _add_rolled(buf, 1, axis, out)
+                continue
+            # decomposed axis: neighbour values come from the ghost layer.
+            # Faces aligned with each interior cell i (cell i as left cell):
+            #   f_left = f[i] * pos, f_right = f[i+1] * neg
+            np.multiply(f_int, pos, out=f_left)
+            np.multiply(self._shift_view(f_pad, j, +1), neg, out=f_right)
+            sides[("L", "L")].apply(f_left, aux, out)
+            sides[("L", "R")].apply(f_right, aux, out)
+            # faces one cell back (cell i as right cell): the serial code
+            # computes these into a buffer and rolls it forward by one
+            np.multiply(self._shift_view(f_pad, j, -1), pos, out=f_left)
+            np.multiply(f_int, neg, out=f_right)
+            buf = pool.get("solver.surfbuf", out.shape)
+            sides[("R", "L")].apply(f_left, aux, buf, accumulate=False)
+            sides[("R", "R")].apply(f_right, aux, buf)
+            out += buf
+
+
+# --------------------------------------------------------------------- #
+class BlockMaxwellRHS:
+    """Ghost-aware Maxwell RHS on a shard block.
+
+    Reuses the serial :class:`~repro.fields.maxwell.MaxwellSolver`'s flux
+    entries and basis matrices (``offset=2`` layout: components x
+    coefficients x cells), replacing each periodic roll with a read of the
+    padded buffer while keeping the serial accumulation order.
+    """
+
+    def __init__(self, maxwell, plan: ShardPlan, shard: int):
+        self.mx = maxwell
+        self.pad = plan.pad
+        self.ranges = plan.ranges(shard)
+        self.block_cells = plan.block_cells(shard)
+        self.cdim = len(self.block_cells)
+        self._interior = (slice(None), slice(None)) + tuple(
+            slice(p, p + n) for n, p in zip(self.block_cells, self.pad)
+        )
+
+    def _shift(self, arr_pad: np.ndarray, axis_d: int, shift: int) -> np.ndarray:
+        sl = list(self._interior)
+        p = self.pad[axis_d]
+        n = self.block_cells[axis_d]
+        sl[2 + axis_d] = slice(p + shift, p + shift + n)
+        return arr_pad[tuple(sl)]
+
+    def rhs(
+        self,
+        q_pad: np.ndarray,
+        current: Optional[np.ndarray] = None,
+        charge_density: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        mx = self.mx
+        if out is None:
+            out = np.zeros((8, mx.num_basis) + self.block_cells)
+        else:
+            out.fill(0.0)
+        for d in range(self.cdim):
+            rdx = mx._rdx[d]
+            g_pad = mx._apply_flux_jacobian(q_pad, d)
+            out += rdx * np.einsum(
+                "lm,cm...->cl...", mx._deriv[d], g_pad[self._interior]
+            )
+            fm = mx._faces[d]
+            axis = 2 + d
+            if not self.pad[d]:
+                g = g_pad[self._interior]
+                g_left = 0.5 * g
+                g_right = 0.5 * np.roll(g, -1, axis=axis)
+                inc_left = np.einsum("lm,cm...->cl...", fm[("L", "L")], g_left)
+                inc_left += np.einsum("lm,cm...->cl...", fm[("L", "R")], g_right)
+                inc_right = np.einsum("lm,cm...->cl...", fm[("R", "L")], g_left)
+                inc_right += np.einsum("lm,cm...->cl...", fm[("R", "R")], g_right)
+                if mx.flux == "upwind":
+                    tau = mx._max_speed()
+                    q = q_pad[self._interior]
+                    jump_l = 0.5 * tau * q
+                    jump_r = -0.5 * tau * np.roll(q, -1, axis=axis)
+                    inc_left += np.einsum("lm,cm...->cl...", fm[("L", "L")], jump_l)
+                    inc_left += np.einsum("lm,cm...->cl...", fm[("L", "R")], jump_r)
+                    inc_right += np.einsum("lm,cm...->cl...", fm[("R", "L")], jump_l)
+                    inc_right += np.einsum("lm,cm...->cl...", fm[("R", "R")], jump_r)
+                out += rdx * inc_left
+                out += rdx * np.roll(inc_right, 1, axis=axis)
+                continue
+            gl_pad = 0.5 * g_pad
+            g_c = self._shift(gl_pad, d, 0)
+            g_p = self._shift(gl_pad, d, +1)
+            g_m = self._shift(gl_pad, d, -1)
+            inc_left = np.einsum("lm,cm...->cl...", fm[("L", "L")], g_c)
+            inc_left += np.einsum("lm,cm...->cl...", fm[("L", "R")], g_p)
+            inc_right = np.einsum("lm,cm...->cl...", fm[("R", "L")], g_m)
+            inc_right += np.einsum("lm,cm...->cl...", fm[("R", "R")], g_c)
+            if mx.flux == "upwind":
+                tau = mx._max_speed()
+                jl_c = 0.5 * tau * self._shift(q_pad, d, 0)
+                jl_m = 0.5 * tau * self._shift(q_pad, d, -1)
+                jr_c = -0.5 * tau * self._shift(q_pad, d, 0)
+                jr_p = -0.5 * tau * self._shift(q_pad, d, +1)
+                inc_left += np.einsum("lm,cm...->cl...", fm[("L", "L")], jl_c)
+                inc_left += np.einsum("lm,cm...->cl...", fm[("L", "R")], jr_p)
+                inc_right += np.einsum("lm,cm...->cl...", fm[("R", "L")], jl_m)
+                inc_right += np.einsum("lm,cm...->cl...", fm[("R", "R")], jr_c)
+            out += rdx * inc_left
+            out += rdx * inc_right
+        if current is not None:
+            out[0:3] -= current / mx.epsilon0
+        if charge_density is not None and mx.chi_e:
+            out[6] -= mx.chi_e * charge_density / mx.epsilon0
+        return out
+
+
+# --------------------------------------------------------------------- #
+def build_block_species(app, plan: ShardPlan, shard: int) -> List[BlockSpecies]:
+    """Build the per-species block solver stacks for one shard of ``app``
+    (a serial :class:`~repro.apps.vlasov_maxwell.VlasovMaxwellApp` or
+    :class:`~repro.apps.vlasov_poisson.VlasovPoissonApp`)."""
+    block_conf = BlockGrid(app.conf_grid, plan.ranges(shard))
+    out = []
+    for sp in app.species:
+        pg = PhaseGrid(block_conf, sp.velocity_grid)
+        serial = app.solvers[sp.name]
+        solver = VlasovModalSolver(
+            pg,
+            app.poly_order,
+            app.family,
+            sp.charge,
+            sp.mass,
+            velocity_flux=serial.velocity_flux,
+            backend="numpy",
+        )
+        moments = MomentCalculator(pg, solver.kernels, pool=solver.pool)
+        collisions = _rebuild_collisions(sp.collisions, pg, app)
+        out.append(BlockSpecies(sp.name, solver, moments, collisions, plan.pad))
+    return out
+
+
+def _rebuild_collisions(coll, block_pg: PhaseGrid, app):
+    """Recreate a collision operator on the block phase grid (collisions are
+    configuration-local, so the block operator is the serial one restricted
+    to the block's cells)."""
+    if coll is None:
+        return None
+    kind = type(coll).__name__
+    if kind == "LBOCollisions":
+        if coll.fixed_u is not None or coll.fixed_vtsq is not None:
+            raise ValueError("process sharding does not support frozen LBO moments")
+        from ..collisions.lbo import LBOCollisions
+
+        return LBOCollisions(
+            block_pg, app.poly_order, app.family, nu=coll.nu
+        )
+    if kind == "BGKCollisions":
+        from ..collisions.bgk import BGKCollisions
+
+        return BGKCollisions(block_pg, app.poly_order, app.family, nu=coll.nu)
+    raise ValueError(f"process sharding does not support collisions of type {kind}")

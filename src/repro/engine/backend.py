@@ -15,6 +15,14 @@ Backends are registered by name so they can be chosen declaratively
   thread pool (BLAS releases the GIL); bitwise identical per output column,
   worthwhile once per-cell blocks are large enough to amortize dispatch.
   ``threaded:N`` pins the worker count.
+* ``process`` — marks the run for real process-sharded execution: the
+  runtime driver (:func:`repro.runtime.driver.build_app`) wraps the app in a
+  :class:`repro.dist.ShardedApp` that splits configuration cells across
+  ``N`` persistent worker processes with shared-memory halo exchange.
+  Inside each worker (and for any solver built directly against it) the
+  dense products are plain NumPy, so sharded runs are bit-identical to the
+  ``numpy`` backend.  ``process:N`` pins the shard count (default: the CPU
+  count).
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ __all__ = [
     "ArrayBackend",
     "NumpyBackend",
     "ThreadedBackend",
+    "ProcessBackend",
     "register_backend",
     "get_backend",
     "available_backends",
@@ -138,6 +147,30 @@ class ThreadedBackend(NumpyBackend):
         return out
 
 
+class ProcessBackend(NumpyBackend):
+    """Marker backend for process-sharded execution (``process[:N]``).
+
+    The sharding itself happens one level up — the runtime driver sees this
+    backend and executes the simulation through
+    :class:`repro.dist.ShardedApp` across ``shards`` worker processes.  At
+    the dense-product level it *is* the numpy backend, which is what makes
+    sharded runs bit-identical to serial ones: every per-cell product is
+    the same call on the same shapes, just batched over fewer cells.
+    """
+
+    name = "process"
+
+    def __init__(self, shards: Optional[int] = None):
+        if shards is None:
+            shards = os.cpu_count() or 1
+        self.shards = int(shards)
+        if self.shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+
+    def describe(self) -> str:
+        return f"process({self.shards})"
+
+
 # --------------------------------------------------------------------- #
 _BACKENDS: Dict[str, Callable[..., ArrayBackend]] = {}
 
@@ -149,6 +182,7 @@ def register_backend(name: str, factory: Callable[..., ArrayBackend]) -> None:
 
 register_backend("numpy", NumpyBackend)
 register_backend("threaded", ThreadedBackend)
+register_backend("process", ProcessBackend)
 
 
 def available_backends() -> List[str]:

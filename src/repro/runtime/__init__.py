@@ -9,13 +9,20 @@ into live apps with scheduled diagnostics and checkpoint/resume, and
 manifest.
 """
 
-from .campaign import CampaignSpec, expand_points, load_manifest, run_campaign
+from .campaign import (
+    CampaignSpec,
+    expand_points,
+    init_manifest,
+    load_manifest,
+    run_campaign,
+)
 from .driver import Driver, build_app
 from .errors import SpecError
 from .scenarios import build, get_scenario, list_scenarios, scenario
 from .spec import (
     CollisionsSpec,
     DiagnosticsSpec,
+    ExternalFieldSpec,
     FieldInitSpec,
     GridSpec,
     SimulationSpec,
@@ -28,6 +35,7 @@ __all__ = [
     "SpeciesSpec",
     "CollisionsSpec",
     "FieldInitSpec",
+    "ExternalFieldSpec",
     "DiagnosticsSpec",
     "SimulationSpec",
     "scenario",
@@ -38,6 +46,7 @@ __all__ = [
     "build_app",
     "CampaignSpec",
     "expand_points",
+    "init_manifest",
     "run_campaign",
     "load_manifest",
 ]

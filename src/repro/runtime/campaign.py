@@ -25,7 +25,13 @@ from .errors import SpecError
 from .scenarios import build
 from .spec import _reject_unknown
 
-__all__ = ["CampaignSpec", "expand_points", "run_campaign", "load_manifest"]
+__all__ = [
+    "CampaignSpec",
+    "expand_points",
+    "init_manifest",
+    "run_campaign",
+    "load_manifest",
+]
 
 PathLike = Union[str, Path]
 MANIFEST_NAME = "manifest.json"
@@ -119,7 +125,11 @@ def _run_point(scenario: str, overrides: Dict[str, object], point_dir: str) -> D
     """Execute one scan point (top-level so it pickles into worker processes)."""
     spec = build(scenario, **overrides)
     driver = Driver(spec, outdir=point_dir)
-    result = driver.run()
+    try:
+        result = driver.run()
+    finally:
+        # a process-sharded point holds worker processes + shared segments
+        driver.close()
     Path(point_dir, "result.json").write_text(json.dumps(result, indent=2))
     return result
 
@@ -137,22 +147,17 @@ def load_manifest(outdir: PathLike) -> Optional[dict]:
     return json.loads(path.read_text())
 
 
-def run_campaign(
-    campaign: CampaignSpec,
-    outdir: PathLike,
-    workers: Optional[int] = None,
-    progress=None,
-) -> dict:
-    """Run (or resume) a campaign; returns the final manifest.
+def init_manifest(campaign: CampaignSpec, outdir: PathLike):
+    """Create (or resume) the campaign manifest in ``outdir``.
 
-    The manifest carries one entry per point (id, overrides, status, result)
-    and is rewritten atomically after every completion, so a killed campaign
-    resumes by rerunning only the points not yet marked ``"done"``.  A point
-    whose stored overrides no longer match the campaign file is re-executed.
+    Returns ``(manifest, pending_ids, skipped)``: points already marked
+    ``"done"`` with unchanged overrides are carried over; everything else is
+    reset to ``"pending"``.  The manifest is written atomically before
+    returning, so both the in-process runner and lease-based shard workers
+    (:mod:`repro.dist.lease`) start from the same on-disk state.
     """
     outdir = Path(outdir)
     outdir.mkdir(parents=True, exist_ok=True)
-    workers = campaign.workers if workers is None else workers
     points = expand_points(campaign)
     ids = [f"p{i:04d}" for i in range(len(points))]
 
@@ -176,8 +181,27 @@ def run_campaign(
                 "result": None,
             }
             pending.append(pid)
+    _write_manifest(outdir / MANIFEST_NAME, manifest)
+    return manifest, pending, skipped
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    outdir: PathLike,
+    workers: Optional[int] = None,
+    progress=None,
+) -> dict:
+    """Run (or resume) a campaign; returns the final manifest.
+
+    The manifest carries one entry per point (id, overrides, status, result)
+    and is rewritten atomically after every completion, so a killed campaign
+    resumes by rerunning only the points not yet marked ``"done"``.  A point
+    whose stored overrides no longer match the campaign file is re-executed.
+    """
+    outdir = Path(outdir)
+    workers = campaign.workers if workers is None else workers
+    manifest, pending, skipped = init_manifest(campaign, outdir)
     manifest_path = outdir / MANIFEST_NAME
-    _write_manifest(manifest_path, manifest)
 
     def finish(pid: str, result: Optional[dict], error: Optional[str]) -> None:
         entry = manifest["points"][pid]
@@ -222,7 +246,7 @@ def run_campaign(
                         finish(pid, None, f"{type(exc).__name__}: {exc}")
 
     manifest["summary"] = {
-        "total": len(points),
+        "total": len(manifest["points"]),
         "ran": len(pending),
         "skipped": skipped,
         "failed": sum(

@@ -7,11 +7,18 @@ Subcommands::
     repro run <scenario> [--set k=v]   # build + run one simulation
     repro resume <checkpoint.npz>      # continue an interrupted run
     repro campaign <file.json>         # parameter-scan batch runner
+    repro worker <manifest-dir>        # claim campaign entries (lease-based)
 
 ``--set key=val`` accepts scenario parameters (``drift=1.5``), spec fields
 (``cfl=0.5``, ``steps=10``) and dotted spec paths
 (``species.elc.initial.vt=0.4``); values parse as JSON with a plain-string
 fallback, so ``--set cells=[8,8]`` and ``--set family=serendipity`` both work.
+
+``--backend process:4`` runs a simulation across four real worker processes
+(shared-memory halo exchange, bit-identical to serial);
+``repro campaign ... --dispatch shard --workers N`` drains a campaign with N
+lease-based claim workers, and ``repro worker <dir>`` joins (or remotely
+drains) such a campaign from any host sharing the filesystem.
 """
 
 from __future__ import annotations
@@ -82,7 +89,10 @@ def _cmd_run(args) -> int:
         overrides["backend"] = args.backend
     spec = build(args.scenario, **overrides)
     driver = Driver(spec, outdir=args.outdir, wall_clock_budget=args.budget)
-    result = driver.run()
+    try:
+        result = driver.run()
+    finally:
+        driver.close()
     _print_summary(result, args.json)
     if driver.checkpoint_path is not None and not args.json:
         print(f"checkpoint    : {driver.checkpoint_path}")
@@ -99,28 +109,78 @@ def _cmd_resume(args) -> int:
         wall_clock_budget=args.budget,
         overrides=overrides,
     )
-    result = driver.run()
+    try:
+        result = driver.run()
+    finally:
+        driver.close()
     _print_summary(result, args.json)
     return 0
 
 
+def _campaign_progress(pid, entry) -> None:
+    status = entry["status"]
+    detail = entry.get("error", "")
+    if status == "done" and entry["result"]:
+        detail = f"t={entry['result']['time']:.4g} steps={entry['result']['steps']}"
+    print(f"[{pid}] {status} {detail}")
+
+
 def _cmd_campaign(args) -> int:
+    if args.prepare_only and args.dispatch != "shard":
+        raise SpecError(
+            "--prepare-only",
+            "only meaningful with --dispatch shard (the pool dispatcher "
+            "has no claimable manifest to prepare)",
+        )
     campaign = CampaignSpec.from_file(args.file)
     outdir = args.outdir or f"{campaign.name}_out"
 
-    def progress(pid, entry):
-        status = entry["status"]
-        detail = entry.get("error", "")
-        if status == "done" and entry["result"]:
-            detail = f"t={entry['result']['time']:.4g} steps={entry['result']['steps']}"
-        print(f"[{pid}] {status} {detail}")
+    if args.dispatch == "shard":
+        from ..dist.lease import prepare_campaign_dir, run_dispatched
 
-    manifest = run_campaign(campaign, outdir, workers=args.workers, progress=progress)
+        if args.prepare_only:
+            manifest = prepare_campaign_dir(campaign, outdir)
+            pending = sum(
+                1 for e in manifest["points"].values() if e["status"] != "done"
+            )
+            print(
+                f"campaign {campaign.name!r}: {len(manifest['points'])} points "
+                f"({pending} claimable) prepared in {outdir}; start workers "
+                f"with `repro worker {outdir}`"
+            )
+            return 0
+        manifest = run_dispatched(
+            campaign,
+            outdir,
+            workers=args.workers,
+            lease_timeout=args.lease_timeout,
+            progress=_campaign_progress,
+        )
+    else:
+        manifest = run_campaign(
+            campaign, outdir, workers=args.workers, progress=_campaign_progress
+        )
     summary = manifest["summary"]
     print(
         f"campaign {campaign.name!r}: {summary['total']} points — "
         f"{summary['ran']} ran, {summary['skipped']} skipped, "
         f"{summary['failed']} failed (manifest: {outdir}/manifest.json)"
+    )
+    return 1 if summary["failed"] else 0
+
+
+def _cmd_worker(args) -> int:
+    from ..dist.lease import claim_loop
+
+    summary = claim_loop(
+        args.dir,
+        lease_timeout=args.lease_timeout,
+        progress=_campaign_progress,
+        max_points=args.max_points,
+    )
+    print(
+        f"worker done: {len(summary['ran'])} points ran, "
+        f"{len(summary['failed'])} failed"
     )
     return 1 if summary["failed"] else 0
 
@@ -149,7 +209,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--backend",
         default=None,
-        help="array-execution backend (numpy, threaded, threaded:N)",
+        help="execution backend (numpy, threaded[:N], process[:N])",
     )
     p_run.add_argument("--json", action="store_true", help="print the summary as JSON")
     p_run.set_defaults(func=_cmd_run)
@@ -162,7 +222,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_resume.add_argument(
         "--backend",
         default=None,
-        help="array-execution backend (numpy, threaded, threaded:N)",
+        help="execution backend (numpy, threaded[:N], process[:N])",
     )
     p_resume.add_argument("--json", action="store_true")
     p_resume.set_defaults(func=_cmd_resume)
@@ -171,7 +231,36 @@ def _build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("file", help="campaign JSON file")
     p_camp.add_argument("--outdir", default=None)
     p_camp.add_argument("--workers", type=int, default=None)
+    p_camp.add_argument(
+        "--dispatch",
+        choices=("pool", "shard"),
+        default="pool",
+        help="pool: in-process worker pool (default); shard: lease-based "
+        "claim workers that other hosts can join via `repro worker`",
+    )
+    p_camp.add_argument(
+        "--prepare-only",
+        action="store_true",
+        help="with --dispatch shard: write the manifest and exit without "
+        "running anything (start workers separately)",
+    )
+    p_camp.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=900.0,
+        help="seconds before an unheartbeated claim lease counts as stale",
+    )
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_worker = sub.add_parser(
+        "worker", help="claim and run entries from a dispatched campaign"
+    )
+    p_worker.add_argument("dir", help="campaign directory (holds manifest.json)")
+    p_worker.add_argument("--lease-timeout", type=float, default=900.0)
+    p_worker.add_argument(
+        "--max-points", type=int, default=None, help="stop after N claims"
+    )
+    p_worker.set_defaults(func=_cmd_worker)
     return parser
 
 

@@ -19,7 +19,7 @@ from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
-from ..apps.vlasov_maxwell import FieldSpec, Species, VlasovMaxwellApp
+from ..apps.vlasov_maxwell import ExternalField, FieldSpec, Species, VlasovMaxwellApp
 from ..apps.vlasov_poisson import VlasovPoissonApp
 from ..diagnostics.energy import EnergyHistory
 from ..grid.phase import PhaseGrid
@@ -45,7 +45,14 @@ def _build_collisions(coll_spec, phase_grid: PhaseGrid, spec: SimulationSpec):
 
 
 def build_app(spec: SimulationSpec):
-    """Instantiate the App described by ``spec`` (ICs projected, t=0)."""
+    """Instantiate the App described by ``spec`` (ICs projected, t=0).
+
+    A ``process[:N]`` backend returns the serial app wrapped in a
+    :class:`repro.dist.ShardedApp`: construction forks N persistent worker
+    processes that execute the steps over shared-memory state, while the
+    returned object keeps the full serial App interface (diagnostics,
+    checkpoint gather/scatter, CFL) bit-identical to a serial run.
+    """
     spec = spec.validate()
     conf_grid = spec.conf_grid.build()
     cdim = conf_grid.ndim
@@ -65,8 +72,21 @@ def build_app(spec: SimulationSpec):
             Species(sp.name, sp.charge, sp.mass, vel_grid, initial, collisions)
         )
 
+    external = None
+    if spec.external_field is not None:
+        ext = spec.external_field
+        external = ExternalField(
+            profiles={
+                comp: build_conf_profile(prof, cdim, f"external_field.components.{comp}")
+                for comp, prof in ext.components.items()
+            },
+            omega=ext.omega,
+            phase=ext.phase,
+            ramp=ext.ramp,
+        )
+
     if spec.model == "poisson":
-        return VlasovPoissonApp(
+        app = VlasovPoissonApp(
             conf_grid,
             species,
             poly_order=spec.poly_order,
@@ -76,7 +96,9 @@ def build_app(spec: SimulationSpec):
             epsilon0=spec.epsilon0,
             neutralize=spec.neutralize,
             backend=spec.backend,
+            external=external,
         )
+        return _maybe_shard(app, spec)
 
     field = None
     if spec.field is not None:
@@ -93,7 +115,7 @@ def build_app(spec: SimulationSpec):
             chi_m=fs.chi_m,
             evolve=fs.evolve,
         )
-    return VlasovMaxwellApp(
+    app = VlasovMaxwellApp(
         conf_grid,
         species,
         field=field,
@@ -103,7 +125,23 @@ def build_app(spec: SimulationSpec):
         scheme=spec.scheme,
         stepper=spec.stepper,
         backend=spec.backend,
+        external=external,
     )
+    return _maybe_shard(app, spec)
+
+
+def _maybe_shard(app, spec: SimulationSpec):
+    from ..engine.backend import ProcessBackend, get_backend
+
+    backend = get_backend(spec.backend)
+    if not isinstance(backend, ProcessBackend):
+        return app
+    from ..dist import ShardedApp
+
+    try:
+        return ShardedApp(app, backend.shards)
+    except ValueError as exc:
+        raise SpecError("spec.backend", str(exc)) from exc
 
 
 class Driver:
@@ -309,6 +347,15 @@ class Driver:
         if self.checkpoint_path is not None:
             self.checkpoint()
         return self.summary(status)
+
+    def close(self) -> None:
+        """Release app execution resources (worker processes and shared
+        memory under the ``process`` backend; a no-op otherwise).  The app
+        keeps private state copies, so diagnostics and checkpointing stay
+        usable after closing."""
+        close = getattr(self.app, "close", None)
+        if callable(close):
+            close()
 
     def summary(self, status: str = "complete") -> Dict[str, object]:
         app = self.app

@@ -23,6 +23,7 @@ from .errors import SpecError
 from .spec import (
     CollisionsSpec,
     DiagnosticsSpec,
+    ExternalFieldSpec,
     FieldInitSpec,
     GridSpec,
     SimulationSpec,
@@ -284,6 +285,105 @@ def collisional_relaxation(
         ),
         poly_order=poly_order,
         cfl=0.4,
+        t_end=t_end,
+    )
+
+
+@scenario("ion_acoustic")
+def ion_acoustic(
+    k: float = 0.5,
+    amp: float = 1e-2,
+    mass_ratio: float = 1836.153,
+    temp_ratio: float = 10.0,
+    nx: int = 16,
+    nv: int = 32,
+    poly_order: int = 2,
+    t_end: float = 20.0,
+) -> SimulationSpec:
+    """Ion-acoustic wave: kinetic electrons + ions at a real mass ratio (1X1V).
+
+    Both species carry the same density perturbation, launching the
+    sound-like mode at :math:`c_s = \\sqrt{T_e/m_i}`; ``temp_ratio`` is
+    :math:`T_e/T_i` (Landau damping of the mode is weak when large).  The
+    ion velocity grid resolves the ion thermal spread plus a few sound
+    speeds; the electron grid is the usual :math:`\\pm 6 v_{th,e}`.
+    """
+    length = 2.0 * math.pi / k
+    vte = 1.0
+    vti = math.sqrt(1.0 / (temp_ratio * mass_ratio))
+    cs = math.sqrt(1.0 / mass_ratio)
+    vmax_i = 6.0 * vti + 4.0 * cs
+    perturbation = {"amp": amp, "k": k}
+    return SimulationSpec(
+        name="ion_acoustic",
+        model="poisson",
+        conf_grid=GridSpec((0.0,), (length,), (nx,)),
+        species=(
+            SpeciesSpec(
+                name="elc",
+                charge=-1.0,
+                mass=1.0,
+                velocity_grid=GridSpec((-6.0 * vte,), (6.0 * vte,), (nv,)),
+                initial={"kind": "maxwellian", "vt": vte, "perturbation": dict(perturbation)},
+            ),
+            SpeciesSpec(
+                name="ion",
+                charge=1.0,
+                mass=mass_ratio,
+                velocity_grid=GridSpec((-vmax_i,), (vmax_i,), (nv,)),
+                initial={"kind": "maxwellian", "vt": vti, "perturbation": dict(perturbation)},
+            ),
+        ),
+        poly_order=poly_order,
+        cfl=0.6,
+        t_end=t_end,
+    )
+
+
+@scenario("driven_landau")
+def driven_landau(
+    k: float = 0.5,
+    amp: float = 1e-2,
+    omega: Optional[float] = None,
+    ramp: float = 5.0,
+    vt: float = 1.0,
+    nx: int = 16,
+    nv: int = 24,
+    vmax: float = 6.0,
+    poly_order: int = 2,
+    t_end: float = 20.0,
+) -> SimulationSpec:
+    """Externally driven Langmuir oscillations: time-dependent E-field drive.
+
+    A prescribed ``Ex = amp sin(kx) cos(omega t)`` drive (linearly ramped
+    over ``ramp`` time units) pumps an initially unperturbed Maxwellian;
+    ``omega`` defaults to the Bohm–Gross frequency
+    :math:`\\sqrt{1 + 3 k^2 v_t^2}` for resonant excitation against the
+    Landau-damped response.
+    """
+    if omega is None:
+        omega = math.sqrt(1.0 + 3.0 * (k * vt) ** 2)
+    length = 2.0 * math.pi / k
+    return SimulationSpec(
+        name="driven_landau",
+        model="poisson",
+        conf_grid=GridSpec((0.0,), (length,), (nx,)),
+        species=(
+            SpeciesSpec(
+                name="elc",
+                charge=-1.0,
+                mass=1.0,
+                velocity_grid=GridSpec((-vmax,), (vmax,), (nv,)),
+                initial={"kind": "maxwellian", "vt": vt},
+            ),
+        ),
+        external_field=ExternalFieldSpec(
+            components={"Ex": {"kind": "sine", "amp": amp, "k": k}},
+            omega=omega,
+            ramp=ramp,
+        ),
+        poly_order=poly_order,
+        cfl=0.6,
         t_end=t_end,
     )
 

@@ -28,6 +28,7 @@ __all__ = [
     "SpeciesSpec",
     "CollisionsSpec",
     "FieldInitSpec",
+    "ExternalFieldSpec",
     "DiagnosticsSpec",
     "SimulationSpec",
     "SpecError",
@@ -259,6 +260,59 @@ class FieldInitSpec:
 
 # --------------------------------------------------------------------- #
 @dataclass(frozen=True)
+class ExternalFieldSpec:
+    """Prescribed time-dependent external EM drive.
+
+    ``components`` maps EM component names (``Ex`` ... ``Bz``) to
+    configuration-space spatial profiles; the drive is that static profile
+    times the envelope ``cos(omega t + phase)`` (times a linear ramp over
+    ``ramp`` time units when positive).  The drive accelerates particles
+    and enters the CFL estimate, but is not evolved by the field solver.
+    """
+
+    components: Dict[str, Dict] = field(default_factory=dict)
+    omega: float = 0.0
+    phase: float = 0.0
+    ramp: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "components": {k: dict(v) for k, v in self.components.items()},
+            "omega": self.omega,
+            "phase": self.phase,
+            "ramp": self.ramp,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping, path: str) -> "ExternalFieldSpec":
+        _reject_unknown(data, path, ("components", "omega", "phase", "ramp"))
+        components = data.get("components", {})
+        if not isinstance(components, Mapping):
+            raise SpecError(f"{path}.components", f"expected an object, got {components!r}")
+        return cls(
+            components={k: dict(v) for k, v in components.items()},
+            omega=_num(data.get("omega", 0.0), f"{path}.omega"),
+            phase=_num(data.get("phase", 0.0), f"{path}.phase"),
+            ramp=_num(data.get("ramp", 0.0), f"{path}.ramp"),
+        )
+
+    def validate(self, path: str, cdim: int) -> None:
+        if not self.components:
+            raise SpecError(f"{path}.components", "need at least one driven component")
+        for comp, prof in self.components.items():
+            if comp not in EM_COMPONENTS[:6]:
+                raise SpecError(
+                    f"{path}.components.{comp}",
+                    "unknown EM component (expected one of: "
+                    f"{', '.join(EM_COMPONENTS[:6])})",
+                )
+            build_conf_profile(prof, cdim, f"{path}.components.{comp}")
+        if self.ramp < 0:
+            raise SpecError(f"{path}.ramp", "ramp must be non-negative")
+
+
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
 class DiagnosticsSpec:
     """Diagnostics/checkpoint scheduling (step-count intervals; 0 = off).
 
@@ -322,6 +376,7 @@ class SimulationSpec:
     conf_grid: GridSpec
     species: Tuple[SpeciesSpec, ...]
     field: Optional[FieldInitSpec] = None
+    external_field: Optional[ExternalFieldSpec] = None
     poly_order: int = 2
     family: str = "serendipity"
     cfl: float = 0.9
@@ -335,9 +390,9 @@ class SimulationSpec:
     diagnostics: DiagnosticsSpec = _dc_field(default_factory=DiagnosticsSpec)
 
     _FIELDS = (
-        "name", "model", "conf_grid", "species", "field", "poly_order", "family",
-        "cfl", "scheme", "stepper", "backend", "t_end", "steps", "epsilon0",
-        "neutralize", "diagnostics",
+        "name", "model", "conf_grid", "species", "field", "external_field",
+        "poly_order", "family", "cfl", "scheme", "stepper", "backend", "t_end",
+        "steps", "epsilon0", "neutralize", "diagnostics",
     )
 
     # ------------------------------------------------------------------ #
@@ -348,6 +403,9 @@ class SimulationSpec:
             "conf_grid": self.conf_grid.to_dict(),
             "species": [sp.to_dict() for sp in self.species],
             "field": self.field.to_dict() if self.field else None,
+            "external_field": (
+                self.external_field.to_dict() if self.external_field else None
+            ),
             "poly_order": self.poly_order,
             "family": self.family,
             "cfl": self.cfl,
@@ -379,6 +437,7 @@ class SimulationSpec:
             for i, sp in enumerate(species_data)
         )
         field_data = data.get("field")
+        ext_data = data.get("external_field")
         steps = data.get("steps")
         neutralize = data.get("neutralize", True)
         if not isinstance(neutralize, bool):
@@ -389,6 +448,11 @@ class SimulationSpec:
             conf_grid=GridSpec.from_dict(data["conf_grid"], f"{path}.conf_grid"),
             species=species,
             field=FieldInitSpec.from_dict(field_data, f"{path}.field") if field_data else None,
+            external_field=(
+                ExternalFieldSpec.from_dict(ext_data, f"{path}.external_field")
+                if ext_data
+                else None
+            ),
             poly_order=_num(data.get("poly_order", 2), f"{path}.poly_order", integer=True),
             family=data.get("family", "serendipity"),
             cfl=_num(data.get("cfl", 0.9), f"{path}.cfl"),
@@ -493,6 +557,8 @@ class SimulationSpec:
                 )
         if self.field is not None:
             self.field.validate(f"{path}.field", cdim)
+        if self.external_field is not None:
+            self.external_field.validate(f"{path}.external_field", cdim)
         self.diagnostics.validate(f"{path}.diagnostics")
         return self
 

@@ -13,6 +13,14 @@ import pytest
 from repro.grid import Grid, PhaseGrid
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "shard: process-sharded execution tests (CI runs them as a "
+        "separate matrix leg exercising --backend process:2)",
+    )
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(20200919)

@@ -1,0 +1,162 @@
+"""Lease-based campaign dispatch: concurrent claiming, crash recovery.
+
+The invariants under test are the ISSUE's: with many workers draining one
+manifest directory, **no entry runs twice** (claims are exclusive-create
+leases and ``done`` entries are never reclaimed) and **no entry is lost**
+(a crashed claimant's stale lease is broken and its entry re-runs).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import time
+from collections import Counter
+
+import pytest
+
+from repro.dist.lease import (
+    CLAIMS_LOG,
+    LOCK_DIR,
+    LeaseLock,
+    claim_loop,
+    prepare_campaign_dir,
+    run_dispatched,
+)
+from repro.runtime import CampaignSpec, load_manifest
+from repro.runtime.cli import main as cli_main
+
+pytestmark = pytest.mark.shard
+
+
+def tiny_campaign(points=3):
+    return CampaignSpec.from_dict(
+        {
+            "scenario": "free_streaming",
+            "name": "lease-test",
+            "base": {"steps": 1, "nx": 6, "nv": 6, "poly_order": 1},
+            "scan": {"k": [0.5 + 0.25 * i for i in range(points)]},
+        }
+    )
+
+
+def claims(outdir) -> Counter:
+    path = outdir / CLAIMS_LOG
+    if not path.exists():
+        return Counter()
+    return Counter(line.split()[0] for line in path.read_text().splitlines())
+
+
+# --------------------------------------------------------------------- #
+def test_lease_lock_exclusive_and_stale_takeover(tmp_path):
+    a = LeaseLock(tmp_path / "x.lock", timeout=60.0)
+    b = LeaseLock(tmp_path / "x.lock", timeout=60.0)
+    assert a.try_acquire()
+    assert not b.try_acquire()
+    a.release()
+    assert b.try_acquire()
+    b.release()
+    # stale takeover: fake an abandoned lock with an old mtime
+    a = LeaseLock(tmp_path / "y.lock", timeout=0.5)
+    assert a.try_acquire()
+    a._beat.set()  # stop the heartbeat: simulates a crashed claimant
+    old = time.time() - 10.0
+    os.utime(tmp_path / "y.lock", (old, old))
+    assert b.__class__(tmp_path / "y.lock", timeout=0.5).try_acquire()
+
+
+def test_single_worker_drains_everything(tmp_path):
+    camp = tiny_campaign(3)
+    prepare_campaign_dir(camp, tmp_path)
+    summary = claim_loop(tmp_path)
+    assert sorted(summary["ran"]) == ["p0000", "p0001", "p0002"]
+    assert summary["failed"] == []
+    manifest = load_manifest(tmp_path)
+    assert all(e["status"] == "done" for e in manifest["points"].values())
+    assert all((tmp_path / pid / "result.json").exists() for pid in summary["ran"])
+    # a second worker finds nothing claimable
+    assert claim_loop(tmp_path) == {"ran": [], "failed": []}
+    assert claims(tmp_path) == {"p0000": 1, "p0001": 1, "p0002": 1}
+
+
+def test_concurrent_workers_run_each_entry_exactly_once(tmp_path):
+    camp = tiny_campaign(4)
+    prepare_campaign_dir(camp, tmp_path)
+    ctx = mp.get_context("fork")
+    procs = [
+        ctx.Process(target=claim_loop, args=(str(tmp_path),)) for _ in range(3)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=600)
+    assert all(p.exitcode == 0 for p in procs)
+    manifest = load_manifest(tmp_path)
+    statuses = [e["status"] for e in manifest["points"].values()]
+    assert statuses == ["done"] * 4          # no entry lost
+    assert set(claims(tmp_path).values()) == {1}  # no entry run twice
+    assert len(claims(tmp_path)) == 4
+
+
+def test_crashed_claimant_entry_is_recovered(tmp_path):
+    camp = tiny_campaign(2)
+    manifest = prepare_campaign_dir(camp, tmp_path)
+    # simulate a worker that died mid-run: status "running", stale lease
+    manifest["points"]["p0000"].update(status="running", worker="ghost:1")
+    (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+    lock = tmp_path / LOCK_DIR / "p0000.lock"
+    lock.parent.mkdir(exist_ok=True)
+    lock.write_text(json.dumps({"host": "ghost", "pid": 1, "time": 0}))
+    old = time.time() - 3600.0
+    os.utime(lock, (old, old))
+
+    summary = claim_loop(tmp_path, lease_timeout=1.0)
+    assert sorted(summary["ran"]) == ["p0000", "p0001"]
+    assert all(
+        e["status"] == "done" for e in load_manifest(tmp_path)["points"].values()
+    )
+
+
+def test_run_dispatched_and_resume_skips_done(tmp_path):
+    camp = tiny_campaign(3)
+    manifest = run_dispatched(camp, tmp_path, workers=2)
+    assert manifest["summary"]["total"] == 3
+    assert manifest["summary"]["failed"] == 0
+    # re-dispatch: done entries are carried over, nothing reruns
+    manifest = run_dispatched(camp, tmp_path, workers=1)
+    assert claims(tmp_path) == {"p0000": 1, "p0001": 1, "p0002": 1}
+
+
+def test_worker_cli_roundtrip(tmp_path, capsys):
+    camp_file = tmp_path / "camp.json"
+    camp_file.write_text(json.dumps(tiny_campaign(2).to_dict()))
+    outdir = tmp_path / "out"
+    rc = cli_main(
+        ["campaign", str(camp_file), "--dispatch", "shard", "--prepare-only",
+         "--outdir", str(outdir)]
+    )
+    assert rc == 0
+    assert "repro worker" in capsys.readouterr().out
+    assert load_manifest(outdir) is not None
+
+    rc = cli_main(["worker", str(outdir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2 points ran" in out
+    assert all(
+        e["status"] == "done" for e in load_manifest(outdir)["points"].values()
+    )
+
+
+def test_campaign_cli_shard_dispatch(tmp_path, capsys):
+    camp_file = tmp_path / "camp.json"
+    camp_file.write_text(json.dumps(tiny_campaign(2).to_dict()))
+    outdir = tmp_path / "out"
+    rc = cli_main(
+        ["campaign", str(camp_file), "--dispatch", "shard", "--workers", "2",
+         "--outdir", str(outdir)]
+    )
+    assert rc == 0
+    assert "2 ran" in capsys.readouterr().out
+    assert set(claims(outdir).values()) == {1}

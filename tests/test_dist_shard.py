@@ -1,0 +1,227 @@
+"""Process-sharded execution: bitwise serial equality, halos, checkpoints.
+
+Every test here runs real forked worker processes (the ``process:N``
+backend), so the module is marked ``shard`` — CI runs it both inside the
+full suite and as a dedicated matrix leg.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dist import BlockGrid, ShardedApp, ShardPlan, fill_padded
+from repro.dist.plan import HaloStats
+from repro.grid import Grid
+from repro.io.checkpoint import load_checkpoint
+from repro.runtime import Driver, SpecError, build
+from repro.runtime.driver import build_app
+
+pytestmark = pytest.mark.shard
+
+
+def run_serial(spec):
+    app = build_app(spec)
+    for _ in range(spec.steps):
+        app.step()
+    return app, {k: np.array(v) for k, v in app.state().items()}
+
+
+def run_sharded(spec, shards):
+    app = build_app(spec.with_overrides({"backend": f"process:{shards}"}))
+    assert isinstance(app, ShardedApp)
+    try:
+        for _ in range(spec.steps):
+            app.step()
+        return {k: np.array(v) for k, v in app.state().items()}, app.halo_stats
+    finally:
+        app.close()
+
+
+SCENARIOS = [
+    # (name, overrides, shard counts) — grids small enough for CI, spanning
+    # 1X/2X conf spaces, Maxwell/Poisson, multi-species, collisions, drive
+    ("landau_damping", {"nx": 8, "nv": 8, "poly_order": 1, "steps": 3}, (2, 4)),
+    ("weibel_2x2v", {"nx": 4, "nv": 6, "poly_order": 1, "steps": 3}, (2, 4)),
+    ("two_stream", {"nx": 9, "nv": 8, "poly_order": 1, "steps": 3}, (3,)),
+    ("ion_acoustic", {"nx": 8, "nv": 10, "poly_order": 1, "steps": 2}, (2,)),
+    ("driven_landau", {"nx": 8, "nv": 10, "poly_order": 1, "steps": 2}, (2,)),
+    ("collisional_relaxation", {"nx": 6, "nv": 10, "poly_order": 1, "steps": 2}, (2,)),
+    ("free_streaming", {"nx": 8, "nv": 6, "poly_order": 1, "steps": 3}, (2,)),
+]
+
+
+@pytest.mark.parametrize(
+    "name,overrides,shard_counts",
+    SCENARIOS,
+    ids=[s[0] for s in SCENARIOS],
+)
+def test_sharded_bitwise_equals_serial(name, overrides, shard_counts):
+    spec = build(name, **overrides)
+    _, serial_state = run_serial(spec)
+    for shards in shard_counts:
+        sharded_state, halo = run_sharded(spec, shards)
+        assert set(sharded_state) == set(serial_state)
+        for key in serial_state:
+            assert np.array_equal(serial_state[key], sharded_state[key]), (
+                f"{name} process:{shards} diverged in {key}"
+            )
+        assert halo["messages"] > 0  # real exchanges happened
+
+
+def test_measured_halo_matches_fig3_model():
+    spec = build("weibel_2x2v", nx=6, nv=8, poly_order=1, steps=2)
+    _, _ = run_serial(spec)
+    state, halo = run_sharded(spec, 4)
+    plan = ShardPlan.create(spec.conf_grid.cells, 4)
+    from repro.basis.multiindex import num_basis
+
+    npb = num_basis(4, 1, "serendipity")
+    model_per_exchange = plan.model_halo_doubles(npb, (8, 8))
+    stages = 3  # ssp-rk3
+    assert halo["f"]["doubles"] == model_per_exchange * stages * spec.steps
+    # per-shard stats sum to the total
+    assert sum(e["f"]["doubles"] for e in halo["per_shard"]) == halo["f"]["doubles"]
+
+
+@pytest.mark.parametrize(
+    "scenario,overrides",
+    [
+        ("weibel_2x2v", {"nx": 4, "nv": 6, "poly_order": 1, "steps": 2}),
+        # static (evolve=False) field: exercises the set_state -> worker
+        # re-read path for the never-stepped EM state
+        ("free_streaming", {"nx": 8, "nv": 6, "poly_order": 1, "steps": 2}),
+    ],
+)
+def test_checkpoint_cross_resume_bitwise(tmp_path, scenario, overrides):
+    """process:N -> serial resume and serial -> process:N resume both land
+    bit-identically on the all-serial reference."""
+    short = build(scenario, **overrides)
+    full = short.with_overrides({"steps": 4})
+
+    ref_drv = Driver(full, outdir=tmp_path / "ref")
+    ref_drv.run()
+    ref, _ = load_checkpoint(tmp_path / "ref" / "checkpoint.npz")
+
+    # sharded first half, serial second half
+    d1 = Driver(short.with_overrides({"backend": "process:2"}), outdir=tmp_path / "a")
+    d1.run()
+    d1.close()
+    d2 = Driver.from_checkpoint(
+        tmp_path / "a" / "checkpoint.npz",
+        outdir=tmp_path / "a2",
+        overrides={"steps": 4, "backend": "numpy"},
+    )
+    d2.run()
+    got, _ = load_checkpoint(tmp_path / "a2" / "checkpoint.npz")
+    for key in ref:
+        assert np.array_equal(ref[key], got[key]), f"proc->serial diverged in {key}"
+
+    # serial first half, sharded second half (backend travels in the spec)
+    d3 = Driver(short, outdir=tmp_path / "b")
+    d3.run()
+    d4 = Driver.from_checkpoint(
+        tmp_path / "b" / "checkpoint.npz",
+        outdir=tmp_path / "b2",
+        overrides={"steps": 4, "backend": "process:2"},
+    )
+    d4.run()
+    d4.close()
+    got, _ = load_checkpoint(tmp_path / "b2" / "checkpoint.npz")
+    for key in ref:
+        assert np.array_equal(ref[key], got[key]), f"serial->proc diverged in {key}"
+
+
+def test_streamed_diagnostics_identical(tmp_path):
+    spec = build("two_stream", nx=8, nv=8, poly_order=1, steps=3)
+    ds = Driver(spec, outdir=tmp_path / "serial")
+    rs = ds.run()
+    dp = Driver(spec.with_overrides({"backend": "process:2"}), outdir=tmp_path / "proc")
+    rp = dp.run()
+    dp.close()
+    assert (tmp_path / "serial" / "diagnostics.jsonl").read_text() == (
+        tmp_path / "proc" / "diagnostics.jsonl"
+    ).read_text()
+    assert rs["field_energy"] == rp["field_energy"]
+    assert rs["total_energy"] == rp["total_energy"]
+
+
+def test_driver_usable_after_close(tmp_path):
+    spec = build("free_streaming", nx=8, nv=6, poly_order=1, steps=2)
+    drv = Driver(spec.with_overrides({"backend": "process:2"}), outdir=tmp_path)
+    drv.run()
+    drv.close()
+    drv.close()  # idempotent
+    assert drv.app.total_energy() > 0.0  # private state copies survive
+    with pytest.raises(RuntimeError, match="closed"):
+        drv.app.step()
+
+
+# --------------------------------------------------------------------- #
+# plan / block unit tests (no worker processes)
+# --------------------------------------------------------------------- #
+def test_shard_plan_partitions_cells():
+    plan = ShardPlan.create((6, 6), 4)
+    assert plan.decomp.dims == (2, 2)
+    assert plan.pad == (1, 1)
+    seen = np.zeros((6, 6), dtype=int)
+    for shard in range(4):
+        (xlo, xhi), (ylo, yhi) = plan.ranges(shard)
+        seen[xlo:xhi, ylo:yhi] += 1
+    assert np.all(seen == 1)
+    assert plan.padded_cells(0) == (5, 5)
+
+
+def test_shard_plan_rejects_single_cell_blocks():
+    with pytest.raises(ValueError, match="fewer shards"):
+        ShardPlan.create((2,), 2)
+    # and too many shards for the grid at all
+    with pytest.raises(ValueError):
+        ShardPlan.create((4,), 8)
+
+
+def test_shard_plan_model_matches_decomp_ghosts():
+    plan = ShardPlan.create((8,), 2)
+    # 1D, 2 blocks: each block receives 2 ghost cells per exchange
+    assert plan.model_halo_doubles(num_basis=3, vel_cells=(4,)) == 2 * 2 * 4 * 3
+
+
+def test_block_grid_geometry_is_bitwise_parent():
+    parent = Grid([0.1, -0.3], [1.7, 2.9], [7, 5])
+    block = BlockGrid(parent, [(2, 5), (1, 4)])
+    assert block.cells == (3, 3)
+    assert block.dx == parent.dx
+    assert np.array_equal(block.centers(0), parent.centers(0)[2:5])
+    assert np.array_equal(block.edges(1), parent.edges(1)[1:5])
+    ext = block.extend(Grid([-1.0], [1.0], [4]))
+    assert np.array_equal(ext.centers(2), Grid([-1.0], [1.0], [4]).centers(0))
+    assert ext.dx[:2] == parent.dx
+
+
+def test_fill_padded_periodic_ghosts():
+    stats = HaloStats()
+    arr = np.arange(2 * 6, dtype=float).reshape(2, 6)
+    pad = np.zeros((2, 5))
+    fill_padded(arr, pad, offset=1, ranges=[(0, 3)], pad=[1], conf_cells=(6,), stats=stats)
+    assert np.array_equal(pad[:, 1:4], arr[:, 0:3])
+    assert np.array_equal(pad[:, 0], arr[:, 5])   # periodic wrap low
+    assert np.array_equal(pad[:, 4], arr[:, 3])   # high neighbour
+    assert stats.messages == 2
+    assert stats.doubles == 4
+    assert stats.bytes == 32
+
+
+def test_process_backend_rejects_quadrature_scheme():
+    spec = build(
+        "landau_damping", nx=8, nv=8, poly_order=1, steps=1,
+        **{"scheme": "quadrature", "backend": "process:2"},
+    )
+    with pytest.raises(SpecError, match="modal"):
+        build_app(spec)
+
+
+def test_process_backend_spec_validation():
+    spec = build("landau_damping", **{"backend": "process:2"})
+    assert spec.backend == "process:2"
+    with pytest.raises(SpecError):
+        build("landau_damping", **{"backend": "process:zero"})

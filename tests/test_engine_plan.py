@@ -168,6 +168,7 @@ def test_classify_aux_value():
 def test_backend_registry():
     assert "numpy" in available_backends()
     assert "threaded" in available_backends()
+    assert "process" in available_backends()
     assert isinstance(get_backend(None), NumpyBackend)
     assert isinstance(get_backend("numpy"), NumpyBackend)
     tb = get_backend("threaded:3")
@@ -176,6 +177,18 @@ def test_backend_registry():
     assert get_backend(b) is b
     with pytest.raises(ValueError, match="unknown backend"):
         get_backend("cuda")
+
+
+def test_process_backend_is_numpy_at_the_product_level():
+    from repro.engine.backend import ProcessBackend
+
+    pb = get_backend("process:4")
+    assert isinstance(pb, ProcessBackend) and pb.shards == 4
+    assert isinstance(pb, NumpyBackend)  # bit-identical dense products
+    assert pb.describe() == "process(4)"
+    assert get_backend("process").shards >= 1
+    with pytest.raises(ValueError):
+        ProcessBackend(0)
 
 
 def test_threaded_backend_matches_numpy():

@@ -12,13 +12,65 @@ EXPECTED = {
     "bump_on_tail",
     "collisional_relaxation",
     "free_streaming",
+    "ion_acoustic",
+    "driven_landau",
 }
 
 
 def test_registry_ships_canonical_scenarios():
     names = {sc.name for sc in list_scenarios()}
     assert EXPECTED <= names
-    assert len(names) >= 6
+    assert len(names) >= 8
+
+
+def test_ion_acoustic_is_multispecies_with_real_mass_ratio():
+    spec = build("ion_acoustic")
+    assert [sp.name for sp in spec.species] == ["elc", "ion"]
+    assert spec.species[1].mass == 1836.153
+    assert spec.species[1].charge == 1.0
+    # ion grid resolves the ion thermal spread, not the electron one
+    assert spec.species[1].velocity_grid.upper[0] < spec.species[0].velocity_grid.upper[0]
+    light = build("ion_acoustic", mass_ratio=25.0)
+    assert light.species[1].mass == 25.0
+
+
+def test_ion_acoustic_runs_and_conserves_particles():
+    import numpy as np
+
+    from repro.runtime import Driver
+    from repro.runtime.driver import build_app
+
+    spec = build("ion_acoustic", nx=8, nv=10, poly_order=1, steps=3, mass_ratio=25.0)
+    fresh = build_app(spec)
+    n0 = {sp.name: fresh.particle_number(sp.name) for sp in spec.species}
+    drv = Driver(spec)
+    result = drv.run()
+    assert result["steps"] == 3
+    for name, n in result["particle_number"].items():
+        assert np.isfinite(n)
+        assert n == pytest.approx(n0[name], rel=1e-10)  # particle conservation
+
+
+def test_driven_landau_defaults_to_bohm_gross_frequency():
+    import math
+
+    spec = build("driven_landau")
+    assert spec.external_field is not None
+    assert spec.external_field.omega == pytest.approx(math.sqrt(1.75))
+    assert "Ex" in spec.external_field.components
+    spec = build("driven_landau", omega=2.0)
+    assert spec.external_field.omega == 2.0
+
+
+def test_driven_landau_drive_injects_field_energy():
+    from repro.runtime.driver import build_app
+
+    spec = build("driven_landau", nx=8, nv=12, poly_order=1, steps=20, ramp=1.0)
+    app = build_app(spec)
+    e0 = app.field_energy()
+    for _ in range(spec.steps):
+        app.step()
+    assert app.field_energy() > max(e0 * 10.0, 1e-12)
 
 
 def test_every_scenario_builds_a_valid_roundtrippable_spec():

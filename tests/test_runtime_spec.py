@@ -6,6 +6,7 @@ import pytest
 
 from repro.runtime import (
     DiagnosticsSpec,
+    ExternalFieldSpec,
     FieldInitSpec,
     GridSpec,
     SimulationSpec,
@@ -169,6 +170,48 @@ def test_maxwell_model_rejects_poisson_only_knobs():
     with pytest.raises(SpecError) as err:
         base.validate().with_overrides({"neutralize": False})
     assert err.value.field == "spec.neutralize"
+
+
+def test_external_field_roundtrip_and_validation():
+    ext = ExternalFieldSpec(
+        components={"Ex": {"kind": "sine", "amp": 0.01, "k": 0.5}},
+        omega=1.3,
+        ramp=5.0,
+    )
+    spec = _minimal_spec(external_field=ext).validate()
+    again = SimulationSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.external_field.omega == 1.3
+    assert SimulationSpec.from_json(spec.to_json()) == spec
+
+    with pytest.raises(SpecError) as err:
+        _minimal_spec(
+            external_field=ExternalFieldSpec(components={})
+        ).validate()
+    assert "components" in err.value.field
+    with pytest.raises(SpecError) as err:
+        _minimal_spec(
+            external_field=ExternalFieldSpec(
+                components={"phi": {"kind": "sine"}}
+            )
+        ).validate()
+    assert "phi" in err.value.field
+    with pytest.raises(SpecError):
+        _minimal_spec(
+            external_field=ExternalFieldSpec(
+                components={"Ex": {"kind": "sine"}}, ramp=-1.0
+            )
+        ).validate()
+    with pytest.raises(SpecError):
+        ExternalFieldSpec.from_dict({"omgea": 1.0}, "x")  # typo'd field
+
+
+def test_process_backend_validates_in_spec():
+    spec = _minimal_spec(backend="process:2").validate()
+    assert spec.backend == "process:2"
+    with pytest.raises(SpecError) as err:
+        _minimal_spec(backend="process:nope").validate()
+    assert err.value.field == "spec.backend"
 
 
 def test_grid_spec_validation():
