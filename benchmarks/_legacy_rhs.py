@@ -151,9 +151,14 @@ class LegacyMoments:
 
 class LegacyCoupledRhs:
     """The seed app's full coupled RHS (species + current coupling + Maxwell),
-    allocating its stage outputs as the pre-refactor path did."""
+    allocating its stage outputs as the pre-refactor path did.  All state is
+    **mode-major** (``f``: ``(Np, *cells)``, ``em``: ``(8, Npc, *cfg)``); the
+    Maxwell update is the seed's einsum-over-trailing-axes form (preserved in
+    :mod:`_modemajor_rhs` now that the library solver is cell-major)."""
 
     def __init__(self, app):
+        from _modemajor_rhs import ModeMajorMaxwellRhs
+
         self.app = app
         self.species_rhs = {
             sp.name: LegacyRhs(app.solvers[sp.name]) for sp in app.species
@@ -161,6 +166,7 @@ class LegacyCoupledRhs:
         self.moments = {
             sp.name: LegacyMoments(app.moments[sp.name]) for sp in app.species
         }
+        self.maxwell_rhs = ModeMajorMaxwellRhs(app.maxwell)
 
     def __call__(self, state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         app = self.app
@@ -177,7 +183,7 @@ class LegacyCoupledRhs:
                 current += self.moments[sp.name].current_density(
                     state[f"f/{sp.name}"], sp.charge
                 )
-            out["em"] = app.maxwell.rhs(em, current=current)
+            out["em"] = self.maxwell_rhs(em, current=current)
         else:
             out["em"] = np.zeros_like(em)
         return out

@@ -32,8 +32,8 @@ def setup(rng):
     vel = Grid([-4.0] * 3, [4.0] * 3, [6, 6, 6])
     pg = PhaseGrid(conf, vel)
     solver = VlasovModalSolver(pg, POLY_ORDER, FAMILY)
-    f = rng.standard_normal((solver.num_basis,) + pg.cells)
-    em = 0.1 * rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (solver.num_basis,) + vel.cells)
+    em = 0.1 * rng.standard_normal(conf.cells + (8, solver.num_conf_basis))
     return pg, solver, f, em
 
 

@@ -51,8 +51,8 @@ def _measure(cdim, vdim, p, family, rng, streaming_only=False) -> Tuple[int, flo
     vel = Grid([-2.0] * vdim, [2.0] * vdim, [n_vel] * vdim)
     pg = PhaseGrid(conf, vel)
     solver = VlasovModalSolver(pg, p, family)
-    f = rng.standard_normal((solver.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (solver.num_basis,) + vel.cells)
+    em = rng.standard_normal(conf.cells + (8, solver.num_conf_basis))
     out = np.zeros_like(f)
 
     if streaming_only:
@@ -61,7 +61,7 @@ def _measure(cdim, vdim, p, family, rng, streaming_only=False) -> Tuple[int, flo
         def update():
             out.fill(0.0)
             for ts in solver.kernels.vol_stream:
-                ts.apply(f, aux, out)
+                ts.apply_cm(f, aux, out, pg.cdim)
             solver._accumulate_streaming_surfaces(f, aux, out)
     else:
         def update():
@@ -152,7 +152,7 @@ def test_fig2_rhs_timing(benchmark, rng):
     vel = Grid([-2.0, -2.0], [2.0, 2.0], [8, 8])
     pg = PhaseGrid(conf, vel)
     solver = VlasovModalSolver(pg, 2, "serendipity")
-    f = rng.standard_normal((solver.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (solver.num_basis,) + vel.cells)
+    em = rng.standard_normal(conf.cells + (8, solver.num_conf_basis))
     out = np.zeros_like(f)
     benchmark(solver.rhs, f, em, out)

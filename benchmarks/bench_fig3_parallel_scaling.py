@@ -41,8 +41,8 @@ def measured_rate(rng):
     vel = Grid([-2.0] * 3, [2.0] * 3, [4, 4, 4])
     pg = PhaseGrid(conf, vel)
     solver = VlasovModalSolver(pg, 1, "serendipity")
-    f = rng.standard_normal((solver.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (solver.num_basis,) + vel.cells)
+    em = rng.standard_normal(conf.cells + (8, solver.num_conf_basis))
     out = np.zeros_like(f)
     solver.rhs(f, em, out)
     n, t0 = 0, time.perf_counter()
@@ -129,8 +129,8 @@ def test_fig3_decomposed_step(benchmark, rng):
     vel = Grid([-2.0] * 2, [2.0] * 2, [4, 4])
     pg = PhaseGrid(conf, vel)
     solver = VlasovModalSolver(pg, 1, "serendipity")
-    f = rng.standard_normal((solver.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (solver.num_basis,) + vel.cells)
+    em = rng.standard_normal(conf.cells + (8, solver.num_conf_basis))
     runner = DecomposedVlasovRunner(solver, nodes=4, cores_per_node=2)
     serial = solver.rhs(f, em)
     dist = benchmark(runner.rhs, f, em)

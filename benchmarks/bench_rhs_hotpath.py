@@ -1,12 +1,18 @@
-"""RHS hot-path micro-benchmark: precompiled-plan engine vs pre-refactor path.
+"""RHS hot-path micro-benchmark: cell-major engine vs preserved baselines.
 
 Measures the modal Vlasov–Maxwell right-hand side — the kernel the paper's
-throughput claims live or die on — through the plan-cached execution engine
-(:mod:`repro.engine`) and through the pre-refactor reference preserved in
-:mod:`_legacy_rhs` (lazy single-plan grouped operators, per-call temporaries,
-allocating stage outputs).  Both run in the same process back to back, so
-machine drift cancels; results are printed and optionally written as JSON
-for CI trend tracking.
+throughput claims live or die on — through three paths in one process (so
+machine drift cancels):
+
+* the current **cell-major** plan-cached engine (:mod:`repro.engine`);
+* the PR 2 **mode-major** plan-cached engine preserved in
+  :mod:`_modemajor_rhs` (same plan design, phase-major state with
+  transform-assign shims and strided face gathers) — the ratio against it
+  is the speedup attributable to the layout change alone;
+* the seed reference preserved in :mod:`_legacy_rhs` (lazy single-plan
+  grouped operators, per-call temporaries, allocating stage outputs).
+
+Results are printed and optionally written as JSON for CI trend tracking.
 
 Usage::
 
@@ -14,6 +20,7 @@ Usage::
     python benchmarks/bench_rhs_hotpath.py --config two_stream
     python benchmarks/bench_rhs_hotpath.py --smoke --json bench.json
     python benchmarks/bench_rhs_hotpath.py --require-speedup 2.0
+    python benchmarks/bench_rhs_hotpath.py --require-layout-speedup 1.15
 
 Not collected by pytest (no ``test_`` functions) — run it as a script.
 """
@@ -32,7 +39,12 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from _legacy_rhs import LegacyCoupledRhs, LegacyRhs  # noqa: E402
+from _modemajor_rhs import ModeMajorCoupledRhs, ModeMajorSolverRhs  # noqa: E402
 
+from repro.engine.layout import (  # noqa: E402
+    conf_to_mode_major,
+    phase_to_mode_major,
+)
 from repro.runtime import SimulationSpec, build, build_app  # noqa: E402
 from repro.runtime.spec import FieldInitSpec, GridSpec, SpeciesSpec  # noqa: E402
 
@@ -103,7 +115,15 @@ def main(argv=None) -> int:
         "--require-speedup",
         type=float,
         default=None,
-        help="exit nonzero unless the coupled-RHS speedup reaches this factor",
+        help="exit nonzero unless the coupled-RHS speedup over the seed "
+        "reference reaches this factor",
+    )
+    ap.add_argument(
+        "--require-layout-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless the coupled-RHS speedup over the "
+        "mode-major PR 2 engine reaches this factor",
     )
     args = ap.parse_args(argv)
 
@@ -113,32 +133,55 @@ def main(argv=None) -> int:
     spec, app = _build(args.config, args.smoke, args.backend)
     name = app.species[0].name
     solver = app.solvers[name]
+    cdim = app.conf_grid.ndim
     f, em = app.f[name], app.em
     state = app.state()
 
+    # mode-major copies of the same state for the preserved baselines
+    # (conversion happens once here, outside every timed region)
+    def to_mm(key, arr):
+        if key == "em":
+            return conf_to_mode_major(arr, cdim, lead=2)
+        return phase_to_mode_major(arr, cdim)
+
+    state_mm = {k: to_mm(k, v) for k, v in state.items()}
+    f_mm, em_mm = state_mm[f"f/{name}"], state_mm["em"]
+
     legacy_solver = LegacyRhs(solver)
     legacy_coupled = LegacyCoupledRhs(app)
+    mm_solver = ModeMajorSolverRhs(solver)
+    mm_coupled = ModeMajorCoupledRhs(app)
     out = np.zeros_like(f)
+    out_mm = np.zeros_like(f_mm)
     out_state = {k: np.empty_like(v) for k, v in state.items()}
+    out_state_mm = {k: np.empty_like(v) for k, v in state_mm.items()}
 
-    # correctness gate: both paths must produce the same RHS
-    ref = legacy_solver(f, em)
-    got = solver.rhs(f, em)
+    # correctness gates: all three paths must produce the same RHS
+    ref = legacy_solver(f_mm, em_mm)
+    got = phase_to_mode_major(solver.rhs(f, em), cdim)
     scale = max(float(np.max(np.abs(ref))), 1.0)
     rhs_err = float(np.max(np.abs(ref - got))) / scale
     if rhs_err > 1e-12:
-        print(f"FATAL: engine RHS deviates from reference ({rhs_err:.2e})")
+        print(f"FATAL: engine RHS deviates from seed reference ({rhs_err:.2e})")
+        return 1
+    mm_err = float(np.max(np.abs(mm_solver(f_mm, em_mm) - ref))) / scale
+    if mm_err > 1e-12:
+        print(f"FATAL: mode-major baseline deviates from reference ({mm_err:.2e})")
         return 1
 
     # warm every plan cache before timing
     solver.rhs(f, em, out)
     app.rhs(state, out=out_state)
-    legacy_coupled(state)
+    mm_solver(f_mm, em_mm, out_mm)
+    mm_coupled(state_mm, out_state_mm)
+    legacy_coupled(state_mm)
 
     t_solver_new = _best(lambda: solver.rhs(f, em, out), repeats, iters)
-    t_solver_old = _best(lambda: legacy_solver(f, em, out), repeats, iters)
+    t_solver_mm = _best(lambda: mm_solver(f_mm, em_mm, out_mm), repeats, iters)
+    t_solver_old = _best(lambda: legacy_solver(f_mm, em_mm, out_mm), repeats, iters)
     t_app_new = _best(lambda: app.rhs(state, out=out_state), repeats, iters)
-    t_app_old = _best(lambda: legacy_coupled(state), repeats, iters)
+    t_app_mm = _best(lambda: mm_coupled(state_mm, out_state_mm), repeats, iters)
+    t_app_old = _best(lambda: legacy_coupled(state_mm), repeats, iters)
     dt = app.suggested_dt()
     t_step = _best(lambda: app.step(dt), max(repeats - 1, 1), max(iters // 2, 1))
 
@@ -148,35 +191,62 @@ def main(argv=None) -> int:
         "smoke": args.smoke,
         "cells": list(app.phase_grids[name].cells),
         "num_basis": solver.num_basis,
+        "layout": "cell-major",
         "rhs_rel_err": rhs_err,
-        "solver_rhs_ms": {"engine": 1e3 * t_solver_new, "legacy": 1e3 * t_solver_old},
+        "modemajor_rel_err": mm_err,
+        "solver_rhs_ms": {
+            "engine": 1e3 * t_solver_new,
+            "modemajor": 1e3 * t_solver_mm,
+            "legacy": 1e3 * t_solver_old,
+        },
         "solver_rhs_speedup": t_solver_old / t_solver_new,
-        "coupled_rhs_ms": {"engine": 1e3 * t_app_new, "legacy": 1e3 * t_app_old},
+        "solver_layout_speedup": t_solver_mm / t_solver_new,
+        "coupled_rhs_ms": {
+            "engine": 1e3 * t_app_new,
+            "modemajor": 1e3 * t_app_mm,
+            "legacy": 1e3 * t_app_old,
+        },
         "coupled_rhs_speedup": t_app_old / t_app_new,
+        "coupled_layout_speedup": t_app_mm / t_app_new,
         "step_ms": 1e3 * t_step,
     }
 
     print(f"=== RHS hot path — {args.config} "
           f"(cells {result['cells']}, Np={solver.num_basis}, "
           f"backend={args.backend}{', smoke' if args.smoke else ''}) ===")
-    print(f"exactness (engine vs legacy): {rhs_err:.2e}")
+    print(f"exactness: engine vs seed {rhs_err:.2e} | mode-major vs seed {mm_err:.2e}")
     print(f"solver RHS : engine {1e3*t_solver_new:8.2f} ms | "
-          f"legacy {1e3*t_solver_old:8.2f} ms | {result['solver_rhs_speedup']:.2f}x")
+          f"mode-major {1e3*t_solver_mm:8.2f} ms | "
+          f"legacy {1e3*t_solver_old:8.2f} ms | "
+          f"{result['solver_rhs_speedup']:.2f}x vs seed, "
+          f"{result['solver_layout_speedup']:.2f}x vs mode-major")
     print(f"coupled RHS: engine {1e3*t_app_new:8.2f} ms | "
-          f"legacy {1e3*t_app_old:8.2f} ms | {result['coupled_rhs_speedup']:.2f}x")
+          f"mode-major {1e3*t_app_mm:8.2f} ms | "
+          f"legacy {1e3*t_app_old:8.2f} ms | "
+          f"{result['coupled_rhs_speedup']:.2f}x vs seed, "
+          f"{result['coupled_layout_speedup']:.2f}x vs mode-major")
     print(f"full SSP-RK3 step: {1e3*t_step:.2f} ms")
 
     if args.json:
         Path(args.json).write_text(json.dumps(result, indent=2) + "\n")
         print(f"wrote {args.json}")
 
+    rc = 0
     if args.require_speedup is not None:
         if result["coupled_rhs_speedup"] < args.require_speedup:
             print(f"FAIL: speedup {result['coupled_rhs_speedup']:.2f}x "
                   f"< required {args.require_speedup}x")
-            return 1
-        print(f"OK: speedup >= {args.require_speedup}x")
-    return 0
+            rc = 1
+        else:
+            print(f"OK: speedup >= {args.require_speedup}x")
+    if args.require_layout_speedup is not None:
+        if result["coupled_layout_speedup"] < args.require_layout_speedup:
+            print(f"FAIL: layout speedup {result['coupled_layout_speedup']:.2f}x "
+                  f"< required {args.require_layout_speedup}x")
+            rc = 1
+        else:
+            print(f"OK: layout speedup >= {args.require_layout_speedup}x")
+    return rc
 
 
 if __name__ == "__main__":

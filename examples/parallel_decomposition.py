@@ -83,8 +83,8 @@ def main():
     vel = Grid([-2.0, -2.0], [2.0, 2.0], [6, 6])
     pg = PhaseGrid(conf, vel)
     solver = VlasovModalSolver(pg, 1, "serendipity")
-    f = rng.standard_normal((solver.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (solver.num_basis,) + vel.cells)
+    em = rng.standard_normal(conf.cells + (8, solver.num_conf_basis))
 
     print("\n=== simulated decomposition (model reference) ===")
     serial = solver.rhs(f, em)

@@ -233,7 +233,7 @@ class VlasovMaxwellApp:
     def total_current(
         self, state: Dict[str, np.ndarray], out: Optional[np.ndarray] = None
     ) -> np.ndarray:
-        shape = (3, self.cfg_basis.num_basis) + self.conf_grid.cells
+        shape = self.conf_grid.cells + (3, self.cfg_basis.num_basis)
         if out is None:
             out = np.zeros(shape)
         else:
@@ -247,7 +247,7 @@ class VlasovMaxwellApp:
         return out
 
     def total_charge_density(self, state: Dict[str, np.ndarray]) -> np.ndarray:
-        rho = np.zeros((self.cfg_basis.num_basis,) + self.conf_grid.cells)
+        rho = np.zeros(self.conf_grid.cells + (self.cfg_basis.num_basis,))
         for sp in self.species:
             rho += self.moments[sp.name].charge_density(
                 state[f"f/{sp.name}"], sp.charge
@@ -286,7 +286,7 @@ class VlasovMaxwellApp:
     def _current_buf(self) -> np.ndarray:
         if self._total_current is None:
             self._total_current = np.empty(
-                (3, self.cfg_basis.num_basis) + self.conf_grid.cells
+                self.conf_grid.cells + (3, self.cfg_basis.num_basis)
             )
         return self._total_current
 
@@ -387,4 +387,4 @@ class VlasovMaxwellApp:
         """Instantaneous field–particle energy exchange ``int J.E dx``."""
         current = self.total_current(self.state())
         jac = float(np.prod([0.5 * dx for dx in self.conf_grid.dx]))
-        return float(np.sum(current * self.em[0:3]) * jac)
+        return float(np.sum(current * self.em[..., 0:3, :]) * jac)

@@ -72,11 +72,11 @@ class VlasovPoissonApp:
         if external is not None:
             from ..projection import project_conf_function
 
-            coeffs = np.zeros((8, self.cfg_basis.num_basis) + conf_grid.cells)
+            coeffs = np.zeros(conf_grid.cells + (8, self.cfg_basis.num_basis))
             from ..fields.maxwell import COMPONENT_NAMES
 
             for name, fn in external.profiles.items():
-                coeffs[COMPONENT_NAMES.index(name)] = project_conf_function(
+                coeffs[..., COMPONENT_NAMES.index(name), :] = project_conf_function(
                     fn, conf_grid, self.cfg_basis
                 )
             self._ext_coeffs = coeffs
@@ -97,32 +97,35 @@ class VlasovPoissonApp:
 
     # ------------------------------------------------------------------ #
     def charge_density(self, state: Dict[str, np.ndarray]) -> np.ndarray:
-        rho = np.zeros((self.cfg_basis.num_basis,) + self.conf_grid.cells)
+        rho = np.zeros(self.conf_grid.cells + (self.cfg_basis.num_basis,))
         for sp in self.species:
             rho += sp.charge * self.moments[sp.name].compute(
                 "M0", state[f"f/{sp.name}"]
             )
         if self.neutralize:
-            rho[0] -= rho[0].mean()
+            rho[..., 0] -= rho[..., 0].mean()
         return rho
 
     def electric_field(self, state: Dict[str, np.ndarray]) -> np.ndarray:
-        """Full EM-state array with ``Ex`` from the Poisson solve plus any
-        external drive at the current step time (solver interface).
+        """Full EM-state array (cell-major ``(nx, 8, Npc)``) with ``Ex``
+        from the Poisson solve plus any external drive at the current step
+        time (solver interface).
 
         The returned array is a persistent buffer refreshed on every call.
         """
         rho = self.charge_density(state)
         ex = self.poisson.solve(rho)
         if self._em_buf is None:
-            self._em_buf = np.zeros((8, self.cfg_basis.num_basis) + self.conf_grid.cells)
+            self._em_buf = np.zeros(
+                self.conf_grid.cells + (8, self.cfg_basis.num_basis)
+            )
         if self.external is not None:
             np.multiply(
                 self._ext_coeffs, self.external.envelope(self.time), out=self._em_buf
             )
-            self._em_buf[0] += ex
+            self._em_buf[..., 0, :] += ex
         else:
-            self._em_buf[0] = ex
+            self._em_buf[..., 0, :] = ex
         return self._em_buf
 
     def state(self) -> Dict[str, np.ndarray]:
@@ -195,7 +198,7 @@ class VlasovPoissonApp:
         """Electrostatic energy ``(eps0/2) int E^2 dx``."""
         em = self.electric_field(self.state())
         jac = 0.5 * self.conf_grid.dx[0]
-        return 0.5 * self.poisson.epsilon0 * float(np.sum(em[0] ** 2)) * jac
+        return 0.5 * self.poisson.epsilon0 * float(np.sum(em[..., 0, :] ** 2)) * jac
 
     def particle_energy(self, name: str) -> float:
         sp = next(s for s in self.species if s.name == name)

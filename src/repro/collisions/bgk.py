@@ -49,7 +49,8 @@ class BGKCollisions:
     def maxwellian_coefficients(
         self, f: np.ndarray, moments: MomentCalculator
     ) -> np.ndarray:
-        """Project the moment-matched Maxwellian onto the phase basis."""
+        """Project the moment-matched Maxwellian onto the phase basis
+        (cell-major in, cell-major out)."""
         g = self.grid
         vdim = g.vdim
         m0 = moments.compute("M0", f)
@@ -63,21 +64,24 @@ class BGKCollisions:
         m2 = moments.compute("M2", f)
         vtsq = weak_divide((m2 - u_dot_m1) / vdim, m0, self.cfg_basis)
         self._vtsq_estimate = max(
-            float(np.max(np.abs(vtsq[0]))) * self.cfg_basis.norm(0), 1e-30
+            float(np.max(np.abs(vtsq[..., 0]))) * self.cfg_basis.norm(0), 1e-30
         )
 
         out = np.zeros_like(f)
         centers = g.conf.extend(g.vel).meshgrid_centers()
         half_dx = [0.5 * d for d in g.dx]
         cdim = g.cdim
+        # basis values shaped to broadcast over cell-major state: the basis
+        # axis sits between the configuration and velocity cell axes
+        vander_shape = (1,) * cdim + (-1,) + (1,) * vdim
         for q in range(self._pts.shape[0]):
             # pointwise primitive moments at this quadrature point
             cfg_vals = self._cfg_vander[:, q]
-            n_q = np.einsum("k,k...->...", cfg_vals, m0)
+            n_q = np.einsum("k,...k->...", cfg_vals, m0)
             vt2_q = np.maximum(
-                np.einsum("k,k...->...", cfg_vals, vtsq), 1e-14
+                np.einsum("k,...k->...", cfg_vals, vtsq), 1e-14
             )
-            u_q = [np.einsum("k,k...->...", cfg_vals, u[j]) for j in range(vdim)]
+            u_q = [np.einsum("k,...k->...", cfg_vals, u[j]) for j in range(vdim)]
             # velocity coordinates of the quadrature point, per cell
             arg = np.zeros(g.cells)
             for j in range(vdim):
@@ -89,11 +93,8 @@ class BGKCollisions:
                 / (2.0 * np.pi * _bcast(vt2_q, g)) ** (vdim / 2.0)
                 * np.exp(-arg / (2.0 * _bcast(vt2_q, g)))
             )
-            out += (
-                self._wts[q]
-                * self._vander[:, q].reshape((-1,) + (1,) * g.pdim)
-                * fm
-            )
+            fm_b = fm.reshape(fm.shape[:cdim] + (1,) + fm.shape[cdim:])
+            out += self._wts[q] * self._vander[:, q].reshape(vander_shape) * fm_b
         return out
 
     def rhs(

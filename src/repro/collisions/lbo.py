@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..cas.poly import Poly
+from ..engine.pool import ScratchPool
 from ..grid.phase import PhaseGrid
 from ..kernels.generator import (
     FluxSpec,
@@ -36,6 +37,7 @@ from ..kernels.generator import (
     generate_surface_termsets,
     generate_volume_termset,
 )
+from ..kernels.grouped import GroupedOperator
 from ..kernels.registry import get_vlasov_kernels
 from ..kernels.vlasov import _cfg_poly_unnormalized
 from ..moments.calc import MomentCalculator
@@ -55,9 +57,10 @@ class LBOCollisions:
     nu:
         Collision frequency (normalized).
     fixed_u, fixed_vtsq:
-        Optional frozen primitive moments (configuration-space modal
-        coefficient arrays).  When omitted they are recomputed from ``f``
-        every evaluation (self-consistent collisions).
+        Optional frozen primitive moments (cell-major configuration-space
+        modal coefficient arrays: ``fixed_u`` is ``(vdim, *cfg, Npc)``,
+        ``fixed_vtsq`` is ``(*cfg, Npc)``).  When omitted they are
+        recomputed from ``f`` every evaluation (self-consistent collisions).
     """
 
     def __init__(
@@ -84,6 +87,13 @@ class LBOCollisions:
 
         pdim = phase_grid.pdim
         npc = self.cfg_basis.num_basis
+        # every generated termset executes through a plan-cached
+        # GroupedOperator on cell-major state, sharing one scratch pool
+        self.pool = ScratchPool()
+
+        def _op(ts):
+            return GroupedOperator(ts, cdim, vdim, pool=self.pool)
+
         # Drag kernels: flux alpha_j = nu * (u_j(x) - v_j) along velocity dim j
         self._drag_vol = []
         self._drag_surf = []
@@ -104,8 +114,13 @@ class LBOCollisions:
                     )
                 )
             spec = FluxSpec(dim=dv, terms=tuple(terms))
-            self._drag_vol.append(generate_volume_termset(self.basis, spec))
-            self._drag_surf.append(generate_surface_termsets(self.basis, spec))
+            self._drag_vol.append(_op(generate_volume_termset(self.basis, spec)))
+            self._drag_surf.append(
+                {
+                    side: _op(ts)
+                    for side, ts in generate_surface_termsets(self.basis, spec).items()
+                }
+            )
         # Diffusion kernels: unit advection along each velocity dim (LDG), and
         # weak multiplication by the config field vtsq.
         self._unit_vol = []
@@ -115,8 +130,13 @@ class LBOCollisions:
             spec = FluxSpec(
                 dim=dv, terms=(FluxTerm(sym=(), poly=Poly.one(pdim)),)
             )
-            self._unit_vol.append(generate_volume_termset(self.basis, spec))
-            self._unit_surf.append(generate_surface_termsets(self.basis, spec))
+            self._unit_vol.append(_op(generate_volume_termset(self.basis, spec)))
+            self._unit_surf.append(
+                {
+                    side: _op(ts)
+                    for side, ts in generate_surface_termsets(self.basis, spec).items()
+                }
+            )
         from ..kernels.generator import generate_multiply_termset
 
         mult_terms = [
@@ -127,19 +147,20 @@ class LBOCollisions:
             )
             for k in range(npc)
         ]
-        self._vtsq_mult = generate_multiply_termset(self.basis, mult_terms)
+        self._vtsq_mult = _op(generate_multiply_termset(self.basis, mult_terms))
         self._vtsq_estimate = 1.0  # refreshed on each rhs() for the CFL
 
     # ------------------------------------------------------------------ #
     def primitive_moments(self, f: np.ndarray, moments: MomentCalculator):
-        """Weak-division primitive moments ``(u, vtsq)`` from ``f``."""
+        """Weak-division primitive moments ``(u, vtsq)`` from ``f``
+        (cell-major: ``u`` is ``(vdim, *cfg, Npc)``, ``vtsq`` ``(*cfg, Npc)``)."""
         if self.fixed_u is not None and self.fixed_vtsq is not None:
             return self.fixed_u, self.fixed_vtsq
         vdim = self.grid.vdim
         m0 = moments.compute("M0", f)
         m2 = moments.compute("M2", f)
         npc = self.cfg_basis.num_basis
-        u = np.zeros((vdim, npc) + self.grid.conf.cells)
+        u = np.zeros((vdim,) + self.grid.conf.cells + (npc,))
         from ..moments.weak_ops import weak_multiply
 
         u_dot_m1 = np.zeros_like(m0)
@@ -165,55 +186,59 @@ class LBOCollisions:
         elif not accumulate:
             out.fill(0.0)
         g = self.grid
+        cdim = g.cdim
         u, vtsq = self.primitive_moments(f, moments)
         phi0 = self.cfg_basis.norm(0)
-        self._vtsq_estimate = max(float(np.max(np.abs(vtsq[0]))) * phi0, 1e-30)
+        self._vtsq_estimate = max(float(np.max(np.abs(vtsq[..., 0]))) * phi0, 1e-30)
         aux: Dict[str, object] = dict(self._aux_base)
         for j in range(g.vdim):
             for k in range(self.cfg_basis.num_basis):
-                aux[f"u{j}_{k}"] = g.conf_coefficient_array(u[j, k])
+                aux[f"u{j}_{k}"] = g.conf_coefficient_array(u[j][..., k])
         for k in range(self.cfg_basis.num_basis):
-            aux[f"vtsq_{k}"] = g.conf_coefficient_array(vtsq[k])
+            aux[f"vtsq_{k}"] = g.conf_coefficient_array(vtsq[..., k])
 
         # drag: central flux on interior velocity faces, zero-flux boundaries
         for j in range(g.vdim):
-            axis = 1 + g.cdim + j
             apply_advection(
                 f,
                 aux,
                 out,
                 self._drag_vol[j],
                 self._drag_surf[j],
-                axis,
+                cdim,
+                j,
+                self.pool,
                 weights=(0.5, 0.5),
             )
         # diffusion: two-pass LDG; grad uses right-biased flux, div left-biased
         for j in range(g.vdim):
-            axis = 1 + g.cdim + j
-            dv = g.cdim + j
-            grad = np.zeros_like(f)
+            grad = self.pool.get("lbo.grad", f.shape, zero=True)
             apply_advection(
                 f,
                 aux,
                 grad,
                 self._unit_vol[j],
                 self._unit_surf[j],
-                axis,
+                cdim,
+                j,
+                self.pool,
                 weights=(0.0, 1.0),
             )
             grad *= -1.0  # weak derivative = -(unit advection RHS)
             # multiply by vtsq(x) weakly (alias-free projection)
-            vg = np.zeros_like(f)
+            vg = self.pool.get("lbo.vg", f.shape, zero=True)
             self._vtsq_mult.apply(grad, aux, vg)
             vg *= self.nu
-            div = np.zeros_like(f)
+            div = self.pool.get("lbo.div", f.shape, zero=True)
             apply_advection(
                 vg,
                 aux,
                 div,
                 self._unit_vol[j],
                 self._unit_surf[j],
-                axis,
+                cdim,
+                j,
+                self.pool,
                 weights=(1.0, 0.0),
             )
             out -= div  # out += -(unit advection RHS)(vg) = +d(vg)/dv

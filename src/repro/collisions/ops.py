@@ -1,5 +1,13 @@
 """Shared helpers for collision operators: generic advection application
-along one velocity axis with interior faces and zero-flux boundaries."""
+along one velocity axis with interior faces and zero-flux boundaries.
+
+Collision kernels run through the same plan-cached engine
+(:class:`~repro.kernels.grouped.GroupedOperator`) as the Vlasov update, on
+cell-major state.  The face states are formed by weighting a velocity-axis
+slice into a pooled contiguous buffer — the one pass the flux arithmetic
+needs anyway — so the per-call ``np.ascontiguousarray`` halo copies of the
+mode-major era are gone.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +15,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from ..kernels.termset import TermSet
+from ..engine.pool import ScratchPool
 
 __all__ = ["axis_slice", "slice_aux", "apply_advection"]
 
@@ -21,10 +29,11 @@ def axis_slice(ndim: int, axis: int, sl: slice) -> Tuple:
 def slice_aux(aux: Dict[str, object], cell_axis: int, sl: slice) -> Dict[str, object]:
     """Restrict aux symbol arrays to a face subset along one cell axis.
 
-    Symbols that vary along the sliced axis (e.g. the cell-center velocity
-    ``w{d}`` when the flux itself depends on ``v_d``, as in the LBO drag
-    term) must be sliced consistently with the state arrays; broadcastable
-    size-1 axes and scalars pass through unchanged.
+    ``cell_axis`` indexes the ``(*cfg, *vel)`` cell axes (aux arrays carry
+    no basis axis).  Symbols that vary along the sliced axis (e.g. the
+    cell-center velocity ``w{d}`` when the flux itself depends on ``v_d``,
+    as in the LBO drag term) must be sliced consistently with the state
+    arrays; broadcastable size-1 axes and scalars pass through unchanged.
     """
     out: Dict[str, object] = {}
     for name, val in aux.items():
@@ -39,38 +48,47 @@ def apply_advection(
     f: np.ndarray,
     aux: Dict[str, object],
     out: np.ndarray,
-    vol: TermSet,
-    surf: Dict[Tuple[str, str], TermSet],
-    axis: int,
+    vol,
+    surf: Dict[Tuple[str, str], object],
+    cdim: int,
+    vel_dim: int,
+    pool: ScratchPool,
     weights: Tuple[float, float] = (0.5, 0.5),
 ) -> None:
-    """Accumulate a DG advection RHS along one velocity axis.
+    """Accumulate a DG advection RHS along velocity dimension ``vel_dim`` of
+    cell-major state ``(*cfg, Np, *vel)``.
 
-    ``weights = (wL, wR)`` select the numerical flux: ``(0.5, 0.5)`` is
-    central, ``(1, 0)``/``(0, 1)`` are the one-sided fluxes used by the LDG
-    diffusion passes.  Domain boundary faces carry zero flux (interior faces
-    only), which is the conservation-preserving velocity-space boundary
-    condition.
+    ``vol``/``surf`` are plan-cached :class:`GroupedOperator`s.  ``weights =
+    (wL, wR)`` select the numerical flux: ``(0.5, 0.5)`` is central,
+    ``(1, 0)``/``(0, 1)`` are the one-sided fluxes used by the LDG diffusion
+    passes.  Domain boundary faces carry zero flux (interior faces only),
+    which is the conservation-preserving velocity-space boundary condition.
     """
     vol.apply(f, aux, out)
+    axis = cdim + 1 + vel_dim          # state array axis of this velocity dim
+    cell_axis = cdim + vel_dim         # aux cell-axis of this velocity dim
     n = f.shape[axis]
     if n < 2:
         return
     w_l, w_r = weights
-    sl_lo = axis_slice(f.ndim, axis, slice(0, n - 1))
-    sl_hi = axis_slice(f.ndim, axis, slice(1, n))
-    # aux arrays are cell shaped (one fewer leading axis than f)
-    aux_lo = slice_aux(aux, axis - 1, slice(0, n - 1))
-    aux_hi = slice_aux(aux, axis - 1, slice(1, n))
-    f_left = np.ascontiguousarray(f[sl_lo]) * w_l
-    f_right = np.ascontiguousarray(f[sl_hi]) * w_r
-    inc_left = np.zeros_like(f_left)
-    inc_right = np.zeros_like(f_left)
+    ndim = f.ndim
+    sl_lo = axis_slice(ndim, axis, slice(0, n - 1))
+    sl_hi = axis_slice(ndim, axis, slice(1, n))
+    aux_lo = slice_aux(aux, cell_axis, slice(0, n - 1))
+    aux_hi = slice_aux(aux, cell_axis, slice(1, n))
+    face_shape = f[sl_lo].shape
+    # weighting the face trace writes it contiguous cell-major; the old
+    # mode-major path needed an extra ascontiguousarray copy here
+    f_face = pool.get("collops.face", face_shape)
+    inc_left = pool.get("collops.incl", face_shape, zero=True)
+    inc_right = pool.get("collops.incr", face_shape, zero=True)
     if w_l:
-        surf[("L", "L")].apply(f_left, aux_lo, inc_left)
-        surf[("R", "L")].apply(f_left, aux_lo, inc_right)
+        np.multiply(f[sl_lo], w_l, out=f_face)
+        surf[("L", "L")].apply(f_face, aux_lo, inc_left)
+        surf[("R", "L")].apply(f_face, aux_lo, inc_right)
     if w_r:
-        surf[("L", "R")].apply(f_right, aux_hi, inc_left)
-        surf[("R", "R")].apply(f_right, aux_hi, inc_right)
+        np.multiply(f[sl_hi], w_r, out=f_face)
+        surf[("L", "R")].apply(f_face, aux_hi, inc_left)
+        surf[("R", "R")].apply(f_face, aux_hi, inc_right)
     out[sl_lo] += inc_left
     out[sl_hi] += inc_right

@@ -84,9 +84,11 @@ class FieldParticleCorrelator:
         self._dv_vander = basis.eval_deriv_at(ref, 1) * (2.0 / full.dx[1])
 
     def record(self, f: np.ndarray, e_at_x0: float, t: float) -> None:
-        """Record one snapshot: ``-q (v^2/2) df/dv|_(x0,v) * E(x0)``."""
-        coeffs = f[:, self._ix, self._iv]  # (Np, nv)
-        dfdv = np.einsum("lp,lp->p", self._dv_vander, coeffs)
+        """Record one snapshot: ``-q (v^2/2) df/dv|_(x0,v) * E(x0)``.
+
+        ``f`` is cell-major ``(nx, Np, nv)``."""
+        coeffs = f[self._ix, :, self._iv]  # (nv_samples, Np)
+        dfdv = np.einsum("lp,pl->p", self._dv_vander, coeffs)
         self._samples.append(
             -self.charge * 0.5 * self.velocities ** 2 * dfdv * e_at_x0
         )

@@ -30,12 +30,13 @@ def evaluate_points(
     Parameters
     ----------
     f:
-        Coefficients ``(Np, *cells)``.
+        Cell-major coefficients ``(*cfg_cells, Np, *vel_cells)``.
     points:
         ``(npts, pdim)`` physical coordinates (must lie inside the domain).
     """
     points = np.atleast_2d(np.asarray(points, dtype=float))
     pdim = phase_grid.pdim
+    cdim = phase_grid.cdim
     if points.shape[1] != pdim:
         raise ValueError("point dimensionality mismatch")
     full = phase_grid.conf.extend(phase_grid.vel)
@@ -50,8 +51,10 @@ def evaluate_points(
         ref[:, d] = np.clip(2.0 * (points[:, d] - centers) / dx, -1.0, 1.0)
         idx.append(i)
     vander = basis.eval_at(ref)  # (Np, npts)
-    coeffs = f[(slice(None),) + tuple(idx)]  # (Np, npts)
-    return np.einsum("lp,lp->p", vander, coeffs)
+    # advanced indices separated by the basis-axis slice move to the front:
+    # (npts, Np)
+    coeffs = f[tuple(idx[:cdim]) + (slice(None),) + tuple(idx[cdim:])]
+    return np.einsum("lp,pl->p", vander, coeffs)
 
 
 def plane_slice(

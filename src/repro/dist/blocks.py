@@ -17,6 +17,13 @@ to a serial one.  Three things make that work:
 * every dense product batches over the block's cells with unchanged
   per-cell shapes, and the engine's products are per-cell independent.
 
+With the cell-major layout the configuration axes lead every state array,
+so a halo slab is a contiguous span of memory: :func:`fill_padded` moves
+ghost layers with plain slab copies (for a slab decomposition they are
+single ``memcpy``-shaped block transfers), and the block interior of a
+1-axis decomposition is itself a contiguous view — no
+``ascontiguousarray`` staging at all on that path.
+
 The serial solvers remain the single source of truth for the per-cell
 math: blocks reuse their compiled operators (``_vol_op``,
 ``_surf_stream_ops``, ``_surf_accel_ops``) and private helpers directly
@@ -32,7 +39,12 @@ import numpy as np
 from ..grid.cartesian import Grid
 from ..grid.phase import PhaseGrid
 from ..moments.calc import MomentCalculator
-from ..vlasov.modal_solver import VlasovModalSolver, _add_rolled, _roll_mul
+from ..vlasov.modal_solver import (
+    VlasovModalSolver,
+    _add_rolled,
+    _axis_slice,
+    _roll_mul,
+)
 from .plan import HaloStats, ShardPlan
 
 __all__ = ["BlockGrid", "BlockSpecies", "BlockMaxwellRHS", "fill_padded"]
@@ -94,7 +106,6 @@ class BlockGrid(Grid):
 def fill_padded(
     shared: np.ndarray,
     pad_buf: np.ndarray,
-    offset: int,
     ranges: Sequence[Tuple[int, int]],
     pad: Sequence[int],
     conf_cells: Sequence[int],
@@ -103,18 +114,18 @@ def fill_padded(
     """Copy a shard's block (+ periodic ghost layers) from a globally-shaped
     array into its padded private buffer.
 
-    ``offset`` is the number of leading non-cell axes (1 for distribution
-    coefficients, 2 for EM components).  Only the ghost slabs count as halo
-    traffic in ``stats`` — the interior copy is a node-local load that a
-    real MPI run would not send.
+    Cell-major layout: the configuration axes *lead* every state array
+    (distribution and EM alike), so the slices below address leading axes
+    and each ghost slab is a contiguous span of the shared segment.  Only
+    the ghost slabs count as halo traffic in ``stats`` — the interior copy
+    is a node-local load that a real MPI run would not send.
     """
     cdim = len(ranges)
-    lead = (slice(None),) * offset
     interior = tuple(
         slice(p, p + hi - lo) for (lo, hi), p in zip(ranges, pad)
     )
     own = tuple(slice(lo, hi) for lo, hi in ranges)
-    pad_buf[lead + interior] = shared[lead + own]
+    pad_buf[interior] = shared[own]
     for d in range(cdim):
         if not pad[d]:
             continue
@@ -122,11 +133,11 @@ def fill_padded(
         lo, hi = ranges[d]
         nloc = hi - lo
         for ghost_idx, src_idx in ((0, (lo - 1) % n), (nloc + 1, hi % n)):
-            dst = lead + tuple(
+            dst = tuple(
                 slice(ghost_idx, ghost_idx + 1) if dd == d else interior[dd]
                 for dd in range(cdim)
             )
-            src = lead + tuple(
+            src = tuple(
                 slice(src_idx, src_idx + 1) if dd == d else own[dd]
                 for dd in range(cdim)
             )
@@ -167,29 +178,40 @@ class BlockSpecies:
         g = solver.grid
         self.cdim, self.vdim = g.cdim, g.vdim
         self.cells = g.cells
-        self.pad_cells = (
-            tuple(n + 2 * p for n, p in zip(g.conf.cells, pad)) + g.vel.cells
+        # cell-major padded buffer: padded cfg axes lead, then basis, then vel
+        self.pad_shape = (
+            tuple(n + 2 * p for n, p in zip(g.conf.cells, pad))
+            + (solver.num_basis,)
+            + g.vel.cells
         )
-        self._interior = (slice(None),) + tuple(
+        self._interior = tuple(
             slice(p, p + n) for n, p in zip(g.conf.cells, pad)
         )
         self._f_int: Optional[np.ndarray] = None
+        self._f_buf: Optional[np.ndarray] = None
 
     def interior(self, f_pad: np.ndarray) -> np.ndarray:
-        """Contiguous copy of the padded state's interior (the block state)."""
-        if self._f_int is None:
-            self._f_int = np.empty((self.solver.num_basis,) + self.cells)
-        np.copyto(self._f_int, f_pad[self._interior])
+        """The padded state's interior (the block state).  For a slab
+        decomposition the cell-major interior is already a contiguous view
+        — returned as is, no copy; otherwise it is staged once into a
+        persistent buffer.  The result is cached on ``_f_int`` for the
+        moment/collision consumers of the same stage."""
+        view = f_pad[self._interior]
+        if view.flags.c_contiguous:
+            self._f_int = view
+        else:
+            if self._f_buf is None:
+                self._f_buf = np.empty(self.solver.layout.shape)
+            np.copyto(self._f_buf, view)
+            self._f_int = self._f_buf
         return self._f_int
 
     def _shift_view(self, f_pad: np.ndarray, axis_j: int, shift: int) -> np.ndarray:
         """Interior view shifted by ``shift`` cells along config axis j."""
-        sl = [slice(None)] + [
-            slice(p, p + n) for n, p in zip(self.cells[: self.cdim], self.pad)
-        ] + [slice(None)] * self.vdim
+        sl = list(self._interior)
         p = self.pad[axis_j]
         n = self.cells[axis_j]
-        sl[1 + axis_j] = slice(p + shift, p + shift + n)
+        sl[axis_j] = slice(p + shift, p + shift + n)
         return f_pad[tuple(sl)]
 
     def rhs(self, f_pad: np.ndarray, em_block: np.ndarray, out: np.ndarray) -> np.ndarray:
@@ -205,39 +227,53 @@ class BlockSpecies:
     def _streaming(self, f_pad, f_int, aux, out) -> None:
         solver = self.solver
         pool = solver.pool
-        f_left = pool.get("solver.fl", f_int.shape)
-        f_right = pool.get("solver.fr", f_int.shape)
-        for j in range(self.cdim):
-            axis = 1 + j
-            sides = solver._surf_stream_ops[j]
-            pos = solver._upwind_pos[j]
-            neg = 1.0 - pos
+        lay = solver.layout
+        cdim = self.cdim
+        npb = solver.num_basis
+        ndim = f_int.ndim
+        f_left = pool.get("solver.fl", lay.shape)
+        f_right = pool.get("solver.fr", lay.shape)
+        sbuf = pool.get(
+            "solver.sstack", lay.shape[:cdim] + (2 * npb,) + lay.shape[cdim + 1 :]
+        )
+        half_a = _axis_slice(ndim, cdim, slice(0, npb))
+        half_b = _axis_slice(ndim, cdim, slice(npb, 2 * npb))
+        for j in range(cdim):
+            axis = j  # cfg axis j leads in cell-major layout
+            ops = solver._surf_stream_ops[j]
+            sides = solver._surf_stream_sides[j]
+            pos = solver._upwind_pos_b[j]
+            neg = solver._upwind_neg_b[j]
             if not self.pad[j]:
                 # the block spans this axis: the serial periodic-roll path
                 np.multiply(f_int, pos, out=f_left)
                 _roll_mul(f_int, -1, axis, neg, out=f_right)
-                sides[("L", "L")].apply(f_left, aux, out)
-                sides[("L", "R")].apply(f_right, aux, out)
-                buf = pool.get("solver.surfbuf", out.shape)
-                sides[("R", "L")].apply(f_left, aux, buf, accumulate=False)
-                sides[("R", "R")].apply(f_right, aux, buf)
-                _add_rolled(buf, 1, axis, out)
+                ops["L"].apply(f_left, aux, sbuf, accumulate=False)
+                ops["R"].apply(f_right, aux, sbuf)
+                out += sbuf[half_a]
+                _add_rolled(sbuf[half_b], 1, axis, out)
                 continue
             # decomposed axis: neighbour values come from the ghost layer.
+            # The per-side operators replay the serial stacked accumulation
+            # order exactly — (L,L) then (L,R) into one buffer, (R,L) then
+            # (R,R) into the other — with each shifted trace read out of
+            # the padded state instead of rolled.
             # Faces aligned with each interior cell i (cell i as left cell):
             #   f_left = f[i] * pos, f_right = f[i+1] * neg
+            buf_a = pool.get("solver.sbufa", lay.shape)
+            buf_b = pool.get("solver.sbufb", lay.shape)
             np.multiply(f_int, pos, out=f_left)
             np.multiply(self._shift_view(f_pad, j, +1), neg, out=f_right)
-            sides[("L", "L")].apply(f_left, aux, out)
-            sides[("L", "R")].apply(f_right, aux, out)
+            sides[("L", "L")].apply(f_left, aux, buf_a, accumulate=False)
+            sides[("L", "R")].apply(f_right, aux, buf_a)
+            out += buf_a
             # faces one cell back (cell i as right cell): the serial code
-            # computes these into a buffer and rolls it forward by one
+            # rolls the stacked buffer's right-cell half forward by one
             np.multiply(self._shift_view(f_pad, j, -1), pos, out=f_left)
             np.multiply(f_int, neg, out=f_right)
-            buf = pool.get("solver.surfbuf", out.shape)
-            sides[("R", "L")].apply(f_left, aux, buf, accumulate=False)
-            sides[("R", "R")].apply(f_right, aux, buf)
-            out += buf
+            sides[("R", "L")].apply(f_left, aux, buf_b, accumulate=False)
+            sides[("R", "R")].apply(f_right, aux, buf_b)
+            out += buf_b
 
 
 # --------------------------------------------------------------------- #
@@ -245,9 +281,10 @@ class BlockMaxwellRHS:
     """Ghost-aware Maxwell RHS on a shard block.
 
     Reuses the serial :class:`~repro.fields.maxwell.MaxwellSolver`'s flux
-    entries and basis matrices (``offset=2`` layout: components x
-    coefficients x cells), replacing each periodic roll with a read of the
-    padded buffer while keeping the serial accumulation order.
+    entries and (transposed) basis matrices on the cell-major layout
+    ``(*cfg, 8, Npc)``, replacing each periodic roll with a read of the
+    padded buffer while keeping the serial accumulation order and the
+    identical per-cell ``matmul`` calls.
     """
 
     def __init__(self, maxwell, plan: ShardPlan, shard: int):
@@ -256,7 +293,7 @@ class BlockMaxwellRHS:
         self.ranges = plan.ranges(shard)
         self.block_cells = plan.block_cells(shard)
         self.cdim = len(self.block_cells)
-        self._interior = (slice(None), slice(None)) + tuple(
+        self._interior = tuple(
             slice(p, p + n) for n, p in zip(self.block_cells, self.pad)
         )
 
@@ -264,7 +301,7 @@ class BlockMaxwellRHS:
         sl = list(self._interior)
         p = self.pad[axis_d]
         n = self.block_cells[axis_d]
-        sl[2 + axis_d] = slice(p + shift, p + shift + n)
+        sl[axis_d] = slice(p + shift, p + shift + n)
         return arr_pad[tuple(sl)]
 
     def rhs(
@@ -276,34 +313,32 @@ class BlockMaxwellRHS:
     ) -> np.ndarray:
         mx = self.mx
         if out is None:
-            out = np.zeros((8, mx.num_basis) + self.block_cells)
+            out = np.zeros(self.block_cells + (8, mx.num_basis))
         else:
             out.fill(0.0)
         for d in range(self.cdim):
             rdx = mx._rdx[d]
             g_pad = mx._apply_flux_jacobian(q_pad, d)
-            out += rdx * np.einsum(
-                "lm,cm...->cl...", mx._deriv[d], g_pad[self._interior]
-            )
-            fm = mx._faces[d]
-            axis = 2 + d
+            out += rdx * np.matmul(g_pad[self._interior], mx._deriv_t[d])
+            fm = mx._faces_t[d]
+            axis = d
             if not self.pad[d]:
                 g = g_pad[self._interior]
                 g_left = 0.5 * g
                 g_right = 0.5 * np.roll(g, -1, axis=axis)
-                inc_left = np.einsum("lm,cm...->cl...", fm[("L", "L")], g_left)
-                inc_left += np.einsum("lm,cm...->cl...", fm[("L", "R")], g_right)
-                inc_right = np.einsum("lm,cm...->cl...", fm[("R", "L")], g_left)
-                inc_right += np.einsum("lm,cm...->cl...", fm[("R", "R")], g_right)
+                inc_left = np.matmul(g_left, fm[("L", "L")])
+                inc_left += np.matmul(g_right, fm[("L", "R")])
+                inc_right = np.matmul(g_left, fm[("R", "L")])
+                inc_right += np.matmul(g_right, fm[("R", "R")])
                 if mx.flux == "upwind":
                     tau = mx._max_speed()
                     q = q_pad[self._interior]
                     jump_l = 0.5 * tau * q
                     jump_r = -0.5 * tau * np.roll(q, -1, axis=axis)
-                    inc_left += np.einsum("lm,cm...->cl...", fm[("L", "L")], jump_l)
-                    inc_left += np.einsum("lm,cm...->cl...", fm[("L", "R")], jump_r)
-                    inc_right += np.einsum("lm,cm...->cl...", fm[("R", "L")], jump_l)
-                    inc_right += np.einsum("lm,cm...->cl...", fm[("R", "R")], jump_r)
+                    inc_left += np.matmul(jump_l, fm[("L", "L")])
+                    inc_left += np.matmul(jump_r, fm[("L", "R")])
+                    inc_right += np.matmul(jump_l, fm[("R", "L")])
+                    inc_right += np.matmul(jump_r, fm[("R", "R")])
                 out += rdx * inc_left
                 out += rdx * np.roll(inc_right, 1, axis=axis)
                 continue
@@ -311,26 +346,26 @@ class BlockMaxwellRHS:
             g_c = self._shift(gl_pad, d, 0)
             g_p = self._shift(gl_pad, d, +1)
             g_m = self._shift(gl_pad, d, -1)
-            inc_left = np.einsum("lm,cm...->cl...", fm[("L", "L")], g_c)
-            inc_left += np.einsum("lm,cm...->cl...", fm[("L", "R")], g_p)
-            inc_right = np.einsum("lm,cm...->cl...", fm[("R", "L")], g_m)
-            inc_right += np.einsum("lm,cm...->cl...", fm[("R", "R")], g_c)
+            inc_left = np.matmul(g_c, fm[("L", "L")])
+            inc_left += np.matmul(g_p, fm[("L", "R")])
+            inc_right = np.matmul(g_m, fm[("R", "L")])
+            inc_right += np.matmul(g_c, fm[("R", "R")])
             if mx.flux == "upwind":
                 tau = mx._max_speed()
                 jl_c = 0.5 * tau * self._shift(q_pad, d, 0)
                 jl_m = 0.5 * tau * self._shift(q_pad, d, -1)
                 jr_c = -0.5 * tau * self._shift(q_pad, d, 0)
                 jr_p = -0.5 * tau * self._shift(q_pad, d, +1)
-                inc_left += np.einsum("lm,cm...->cl...", fm[("L", "L")], jl_c)
-                inc_left += np.einsum("lm,cm...->cl...", fm[("L", "R")], jr_p)
-                inc_right += np.einsum("lm,cm...->cl...", fm[("R", "L")], jl_m)
-                inc_right += np.einsum("lm,cm...->cl...", fm[("R", "R")], jr_c)
+                inc_left += np.matmul(jl_c, fm[("L", "L")])
+                inc_left += np.matmul(jr_p, fm[("L", "R")])
+                inc_right += np.matmul(jl_m, fm[("R", "L")])
+                inc_right += np.matmul(jr_c, fm[("R", "R")])
             out += rdx * inc_left
             out += rdx * inc_right
         if current is not None:
-            out[0:3] -= current / mx.epsilon0
+            out[..., 0:3, :] -= current / mx.epsilon0
         if charge_density is not None and mx.chi_e:
-            out[6] -= mx.chi_e * charge_density / mx.epsilon0
+            out[..., 6, :] -= mx.chi_e * charge_density / mx.epsilon0
         return out
 
 

@@ -74,9 +74,12 @@ class _ShardWorker:
 
         self.species = build_block_species(app, plan, shard)
         npc = app.cfg_basis.num_basis
+        # cell-major layout: configuration axes lead every state array, so
+        # one leading-slice tuple addresses f, em, and rho alike — and each
+        # slab is a contiguous span of the shared segment
         conf_sl = tuple(slice(lo, hi) for lo, hi in self.ranges)
-        self._em_slab = (slice(None), slice(None)) + conf_sl
-        self._rho_slab = (slice(None),) + conf_sl
+        self._em_slab = conf_sl
+        self._rho_slab = conf_sl
 
         # private padded inputs, per-stage contiguous field block, RHS (k),
         # and step-start snapshot (u0) buffers
@@ -87,35 +90,32 @@ class _ShardWorker:
         self._pad_int: Dict[str, Tuple[slice, ...]] = {}
         for sp, spb in zip(app.species, self.species):
             key = f"f/{sp.name}"
-            npb = spb.solver.num_basis
-            self.f_pad[key] = np.zeros((npb,) + spb.pad_cells)
-            self.k[key] = np.empty((npb,) + spb.solver.grid.cells)
+            self.f_pad[key] = np.zeros(spb.pad_shape)
+            self.k[key] = np.empty(spb.solver.layout.shape)
             self.u0[key] = np.empty_like(self.k[key])
-            self.f_slab[key] = shared[key][
-                (slice(None),) + conf_sl + (slice(None),) * spb.vdim
-            ]
+            self.f_slab[key] = shared[key][conf_sl]
             self._pad_int[key] = spb._interior
-        self.em_block = np.zeros((8, npc) + self.block_cells)
+        self.em_block = np.zeros(self.block_cells + (8, npc))
         self.em_pad: Optional[np.ndarray] = None
         self.maxwell_block: Optional[BlockMaxwellRHS] = None
         self._cur_buf: Optional[np.ndarray] = None
         self._sp_cur_buf: Optional[np.ndarray] = None
         if self.evolve:
-            self.em_pad = np.zeros(
-                (8, npc) + plan.padded_cells(shard)
-            )
+            self.em_pad = np.zeros(plan.padded_cells(shard) + (8, npc))
             self.maxwell_block = BlockMaxwellRHS(app.maxwell, plan, shard)
-            self.k["em"] = np.empty((8, npc) + self.block_cells)
+            self.k["em"] = np.empty(self.block_cells + (8, npc))
             self.u0["em"] = np.empty_like(self.k["em"])
             self.f_slab["em"] = shared["em"][self._em_slab]
         if self.is_poisson:
-            self._rho_buf = np.zeros((npc,) + self.block_cells)
-            self._rho_full = np.empty((npc,) + self.conf_cells)
-        # external drive: static spatial coefficients restricted to the block
+            self._rho_buf = np.zeros(self.block_cells + (npc,))
+            self._rho_full = np.empty(self.conf_cells + (npc,))
+        # external drive: static spatial coefficients restricted to the
+        # block — a leading-axis view; the elementwise drive evaluation
+        # consumes it without the old ascontiguousarray staging copy
         self.ext_coeffs: Optional[np.ndarray] = None
         self._em_eff: Optional[np.ndarray] = None
         if getattr(app, "external", None) is not None:
-            self.ext_coeffs = np.ascontiguousarray(app._ext_coeffs[self._em_slab])
+            self.ext_coeffs = app._ext_coeffs[self._em_slab]
             self._em_eff = np.empty_like(self.em_block)
         self.stepper_name = type(app.stepper).__name__
 
@@ -124,15 +124,17 @@ class _ShardWorker:
         return {"f": self.stats_f.as_dict(), "em": self.stats_em.as_dict()}
 
     def _read_state(self) -> None:
-        """Halo phase: refresh padded inputs from the shared global state."""
+        """Halo phase: refresh padded inputs from the shared global state —
+        contiguous configuration-cell slab copies under the cell-major
+        layout."""
         for key, pad_buf in self.f_pad.items():
             fill_padded(
-                self.shared[key], pad_buf, 1, self.ranges, self.pad,
+                self.shared[key], pad_buf, self.ranges, self.pad,
                 self.conf_cells, self.stats_f,
             )
         if self.evolve:
             fill_padded(
-                self.shared["em"], self.em_pad, 2, self.ranges, self.pad,
+                self.shared["em"], self.em_pad, self.ranges, self.pad,
                 self.conf_cells, self.stats_em,
             )
             np.copyto(self.em_block, self.em_pad[self.maxwell_block._interior])
@@ -164,7 +166,7 @@ class _ShardWorker:
         if self.evolve:
             if self._cur_buf is None:
                 npc = app.cfg_basis.num_basis
-                self._cur_buf = np.zeros((3, npc) + self.block_cells)
+                self._cur_buf = np.zeros(self.block_cells + (3, npc))
                 self._sp_cur_buf = np.empty_like(self._cur_buf)
             cur = self._cur_buf
             cur.fill(0.0)
@@ -175,7 +177,7 @@ class _ShardWorker:
             rho = None
             if app.field_spec.chi_e:
                 npc = app.cfg_basis.num_basis
-                rho = np.zeros((npc,) + self.block_cells)
+                rho = np.zeros(self.block_cells + (npc,))
                 for sp, spb in zip(app.species, self.species):
                     rho += spb.moments.charge_density(spb._f_int, sp.charge)
             self.maxwell_block.rhs(
@@ -194,15 +196,15 @@ class _ShardWorker:
         self.barrier.wait()
         np.copyto(self._rho_full, self.rho_shared)
         if app.neutralize:
-            self._rho_full[0] -= self._rho_full[0].mean()
+            self._rho_full[..., 0] -= self._rho_full[..., 0].mean()
         ex = app.poisson.solve(self._rho_full)
         if self.ext_coeffs is not None:
             np.multiply(
                 self.ext_coeffs, app.external.envelope(t), out=self._em_eff
             )
-            self._em_eff[0] += ex[self._rho_slab]
+            self._em_eff[..., 0, :] += ex[self._rho_slab]
         else:
-            self.em_block[0] = ex[self._rho_slab]
+            self.em_block[..., 0, :] = ex[self._rho_slab]
 
     # ------------------------------------------------------------------ #
     def _stage(self, t: float, snapshot: bool = False) -> None:
@@ -390,7 +392,7 @@ class ShardedApp:
         rho_shared = None
         if isinstance(app, VlasovPoissonApp):
             rho_shared = self._alloc(
-                np.zeros((app.cfg_basis.num_basis,) + app.conf_grid.cells)
+                np.zeros(app.conf_grid.cells + (app.cfg_basis.num_basis,))
             )
         elif "em" not in self._shared:  # pragma: no cover - maxwell always has em
             raise RuntimeError("maxwell state without an EM field")

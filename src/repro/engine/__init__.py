@@ -13,10 +13,16 @@ and for all layers:
   every RK stage of every step (and invalidated if the signature changes);
 * :mod:`~repro.engine.pool` owns preallocated scratch buffers so steady-state
   kernel application performs no array allocation;
-* :mod:`~repro.engine.backend` abstracts the dense batched products behind an
-  :class:`ArrayBackend` (``numpy`` default, ``threaded`` chunked variant),
-  selected per simulation via ``SimulationSpec.backend`` / ``repro run
-  --backend`` — the seam where sharded or GPU execution plugs in later.
+* :mod:`~repro.engine.backend` abstracts the dense batched products (and
+  state allocation) behind an :class:`ArrayBackend` (``numpy`` default,
+  ``threaded`` chunked variant), selected per simulation via
+  ``SimulationSpec.backend`` / ``repro run --backend`` — the seam where
+  sharded or GPU execution plugs in later;
+* :mod:`~repro.engine.layout` fixes the canonical **cell-major** state
+  layout ``(*cfg_cells, num_basis, *vel_cells)`` that plans, solvers, apps,
+  steppers, and the sharded halo exchange all share — per-configuration-cell
+  blocks are contiguous, so the batched products and halo slabs need no
+  transpose or gather passes.
 """
 
 from .backend import (
@@ -26,6 +32,13 @@ from .backend import (
     available_backends,
     get_backend,
     register_backend,
+)
+from .layout import (
+    StateLayout,
+    conf_to_cell_major,
+    conf_to_mode_major,
+    phase_to_cell_major,
+    phase_to_mode_major,
 )
 from .plan import ExecutionPlan, PlanSignatureError, aux_signature, classify_aux_value
 from .pool import ScratchPool
@@ -42,4 +55,9 @@ __all__ = [
     "aux_signature",
     "classify_aux_value",
     "ScratchPool",
+    "StateLayout",
+    "phase_to_cell_major",
+    "phase_to_mode_major",
+    "conf_to_cell_major",
+    "conf_to_mode_major",
 ]

@@ -28,7 +28,7 @@ Backends are registered by name so they can be chosen declaratively
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -56,8 +56,40 @@ class ArrayBackend:
         """``out[i] = a[i] @ b[i]`` over a leading batch axis."""
         raise NotImplementedError
 
+    def batched_gemm_acc(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``out[i] += a[i] @ b[i]`` (accumulating batched product).
+
+        The generic fallback stages through a temporary; backends override
+        with an in-place accumulation when the platform provides one.
+        """
+        out += np.matmul(a, b)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # allocation/view helpers: every state array the engine owns goes
+    # through these, so a device backend can substitute its own memory
+    # without touching solver code.  Layouts are always cell-major
+    # (:mod:`repro.engine.layout`).
+    def alloc(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """Zero-initialized cell-major state array."""
+        return np.zeros(shape)
+
+    def empty(self, shape: Tuple[int, ...]) -> np.ndarray:
+        """Uninitialized cell-major state array."""
+        return np.empty(shape)
+
+    def alloc_state(self, layout) -> np.ndarray:
+        """Zeroed phase-space state for a :class:`~repro.engine.layout.StateLayout`."""
+        return self.alloc(layout.shape)
+
     def describe(self) -> str:
         return self.name
+
+
+try:  # in-place accumulating GEMM (BLAS beta=1); scipy always ships it
+    from scipy.linalg.blas import dgemm as _dgemm
+except ImportError:  # pragma: no cover
+    _dgemm = None
 
 
 class NumpyBackend(ArrayBackend):
@@ -70,6 +102,28 @@ class NumpyBackend(ArrayBackend):
 
     def batched_gemm(self, a, b, out):
         return np.matmul(a, b, out=out)
+
+    def batched_gemm_acc(self, a, b, out):
+        """``out[i] += a[i] @ b[i]`` in place (no staging buffer).
+
+        Runs the transposed problem ``out[i].T += b[i].T @ a[i].T`` through
+        BLAS ``dgemm`` with ``beta=1`` — the ``.T`` views of the C-ordered
+        batch items are Fortran-contiguous, so BLAS accumulates directly
+        into the output memory.  A non-C-contiguous ``out`` would make
+        ``dgemm`` accumulate into an internal copy (silently discarding the
+        result), so that case falls back to the staged base path.
+        """
+        if (
+            _dgemm is None
+            or out.dtype != np.float64
+            or not out.flags.c_contiguous
+        ):
+            return super().batched_gemm_acc(a, b, out)
+        a_batched = a.ndim == 3
+        for i in range(out.shape[0]):
+            ai = a[i] if a_batched else a
+            _dgemm(1.0, b[i].T, ai.T, beta=1.0, c=out[i].T, overwrite_c=True)
+        return out
 
 
 class ThreadedBackend(NumpyBackend):
@@ -139,6 +193,30 @@ class ThreadedBackend(NumpyBackend):
                         a[s : s + step] if a_batched else a,
                         b[s : s + step],
                         out=out[s : s + step],
+                    )
+                )
+                for s in range(0, nbatch, step)
+            ]
+        )
+        return out
+
+    def batched_gemm_acc(self, a, b, out):
+        """Accumulating batched product, chunked over the batch axis —
+        disjoint output chunks, dgemm releases the GIL inside each."""
+        nbatch = out.shape[0]
+        work = nbatch * a.shape[-2] * a.shape[-1] * out.shape[-1]
+        if self.workers < 2 or work < self.min_work or nbatch < self.workers:
+            return super().batched_gemm_acc(a, b, out)
+        step = -(-nbatch // self.workers)
+        a_batched = a.ndim == 3
+        acc = super().batched_gemm_acc
+        self._run_chunks(
+            [
+                (
+                    lambda s=s: acc(
+                        a[s : s + step] if a_batched else a,
+                        b[s : s + step],
+                        out[s : s + step],
                     )
                 )
                 for s in range(0, nbatch, step)

@@ -1,4 +1,4 @@
-"""Compiled execution plans for generated kernels.
+"""Compiled execution plans for generated kernels — cell-major native.
 
 A :class:`~repro.kernels.termset.TermSet` names its runtime factors
 symbolically; *how* to evaluate it efficiently depends on where each factor
@@ -9,8 +9,8 @@ configuration-varying (``c``), velocity-varying (``v``) or irregular
 
 * terms whose symbols carry no configuration dependence share one operator
   for every phase-space cell; they are kept as full-width sparse matrices
-  and applied as in-place sparse×dense-block products (one pass over the
-  state per distinct velocity factor, zero temporaries);
+  and applied as in-place sparse×dense products, one configuration cell's
+  contiguous ``(nin, nvel)`` block at a time (zero temporaries);
 * terms with configuration-varying factors (the acceleration kernels' modal
   field coefficients) are pre-stacked into dense operator blocks; per
   application one small GEMM assembles the per-cell operators
@@ -19,13 +19,22 @@ configuration-varying (``c``), velocity-varying (``v``) or irregular
 * symbols varying on both cell groups fall back to the exact sparse
   reference path.
 
+State is **cell-major** (:mod:`repro.engine.layout`): ``fin``/``out`` are
+``(*cfg_cells, n, *vel_cells)``, whose C-contiguous view *is* the
+``(ncfg, n, nvel)`` batch the dense products consume.  The phase-major
+transform-assign shims of the previous engine (gather into cell-major
+scratch, transpose-add back) are gone: the batched GEMMs read the state and
+write the output directly.
+
 Plans own no state except references into a shared
 :class:`~repro.engine.pool.ScratchPool`, so steady-state application
-allocates nothing.  A plan is only valid for the signature and cell shape it
-was compiled against; :class:`~repro.kernels.grouped.GroupedOperator` keys
-its plan cache on both, which is what fixes the historical stale-plan
-hazard (a plan built from the first ``aux`` dict being silently reused for
-aux of a different shape).
+allocates nothing — and, with the layout flip, copies nothing: the one
+remaining normalizing copy (a non-contiguous ``fin``) is reported through
+:meth:`ScratchPool.record_layout_copy`, which the copy-assert tests turn
+into a hard failure.  A plan is only valid for the signature and cell shape
+it was compiled against; :class:`~repro.kernels.grouped.GroupedOperator`
+keys its plan cache on both, which is what fixes the historical stale-plan
+hazard.
 """
 
 from __future__ import annotations
@@ -35,7 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..kernels.termset import AuxValue, Symbol, TermSet
+from ..kernels.termset import AuxValue, Symbol, TermSet, csr_accumulate
 from .backend import ArrayBackend, get_backend
 from .pool import ScratchPool
 
@@ -47,11 +56,6 @@ __all__ = [
 ]
 
 Signature = Tuple[Tuple[str, str], ...]
-
-try:  # fast in-place sparse accumulation (scipy's own csr kernel)
-    from scipy.sparse import _sparsetools as _csr_tools
-except ImportError:  # pragma: no cover - scipy always ships it
-    _csr_tools = None
 
 
 class PlanSignatureError(ValueError):
@@ -108,32 +112,24 @@ def _scalar_value(val: AuxValue) -> float:
     return float(arr.reshape(-1)[0])
 
 
-def _csr_accumulate(mat: sp.csr_matrix, data: np.ndarray, x2: np.ndarray, y2: np.ndarray):
-    """``y2 += csr(mat.indptr, mat.indices, data) @ x2`` without temporaries."""
-    if _csr_tools is not None:
-        _csr_tools.csr_matvecs(
-            mat.shape[0],
-            mat.shape[1],
-            x2.shape[1],
-            mat.indptr,
-            mat.indices,
-            data,
-            x2.reshape(-1),
-            y2.reshape(-1),
-        )
-    else:  # pragma: no cover - exercised only on exotic scipy builds
-        y2 += sp.csr_matrix((data, mat.indices, mat.indptr), shape=mat.shape) @ x2
-
-
 class _UniformGroup:
-    """Terms with one shared operator per cell: sparse, applied in place."""
+    """Terms with one shared operator per cell: sparse, applied in place.
+
+    At compile time each term's csr matrix is expanded to the block-diagonal
+    ``kron(I_ncfg, M)`` over the plan's configuration cells, so one
+    ``csr_matvecs`` call sweeps every cell's contiguous ``(nin, nvel)``
+    block — per-row arithmetic identical to the per-cell kernel, without
+    ``ncfg`` Python-level calls."""
 
     __slots__ = ("vel_names", "terms")
 
     def __init__(self, vel_names: Tuple[str, ...]):
         self.vel_names = vel_names
-        # each term: (scalar_names, full-width csr, preallocated scaled-data buffer)
-        self.terms: List[Tuple[Tuple[str, ...], sp.csr_matrix, np.ndarray]] = []
+        # each term: (scalar_names, batched kron csr, preallocated
+        #             scaled-data buffer for the kron data)
+        self.terms: List[
+            Tuple[Tuple[str, ...], sp.csr_matrix, np.ndarray]
+        ] = []
 
 
 class _CfgGroup:
@@ -162,8 +158,9 @@ class ExecutionPlan:
         A representative aux dict; only its *signature* (classification of
         each symbol) is baked in, never its values.
     cell_shape:
-        The cell axes of the states this plan will be applied to; scratch
-        buffers are sized for it.
+        The ``(*cfg_cells, *vel_cells)`` axes of the states this plan will
+        be applied to (the basis axis sits between them at runtime);
+        scratch buffers are sized for it.
     backend, pool:
         Dense-product strategy and shared scratch arena.
     """
@@ -189,6 +186,8 @@ class ExecutionPlan:
         self.ncfg = int(np.prod(self.cfg_shape)) if self.cfg_shape else 1
         self.nvel = int(np.prod(self.vel_shape)) if self.vel_shape else 1
         self.ncells = self.ncfg * self.nvel
+        self.in_shape = self.cfg_shape + (self.nin,) + self.vel_shape
+        self.out_shape = self.cfg_shape + (self.nout,) + self.vel_shape
         self.backend = get_backend(backend)
         self.pool = pool if pool is not None else ScratchPool()
         self.names = sorted({n for sym in termset.entries_by_symbol() for n in sym})
@@ -231,8 +230,18 @@ class ExecutionPlan:
                 grp = uniform.get(key)
                 if grp is None:
                     grp = uniform[key] = _UniformGroup(key)
+                # block-diagonal expansion over configuration cells: the
+                # batched sweep multiplies the same per-cell rows, so the
+                # result is bit-identical to the per-cell kernel
+                bmat = sp.kron(
+                    sp.identity(self.ncfg, format="csr"), mat, format="csr"
+                )
                 grp.terms.append(
-                    (tuple(scalar_names), mat, np.empty_like(mat.data))
+                    (
+                        tuple(scalar_names),
+                        bmat,
+                        np.empty_like(bmat.data) if scalar_names else None,
+                    )
                 )
         for key, grp in cfg_groups.items():
             grp.mats = np.stack(cfg_mats[key]) if cfg_mats[key] else None
@@ -309,11 +318,18 @@ class ExecutionPlan:
 
     # ------------------------------------------------------------------ #
     def _vel_product(self, names: Tuple[str, ...], aux: Dict[str, AuxValue]):
-        """Product of velocity-varying factors (small, velocity-axis sized)."""
+        """Product of velocity-varying factors (small, velocity-axis sized),
+        shaped over the ``(*cfg, *vel)`` cell axes."""
         val = np.asarray(aux[names[0]])
         for name in names[1:]:
             val = val * np.asarray(aux[name])
         return val
+
+    def _vel_factor_b(self, names: Tuple[str, ...], aux) -> np.ndarray:
+        """Velocity factor with the basis axis inserted, broadcastable
+        against cell-major state."""
+        val = self._vel_product(names, aux)
+        return val.reshape(val.shape[: self.cdim] + (1,) + val.shape[self.cdim :])
 
     def _cfg_row(self, val: AuxValue) -> np.ndarray:
         """A configuration-varying factor flattened to ``(ncfg,)`` —
@@ -333,128 +349,109 @@ class ExecutionPlan:
         out: np.ndarray,
         accumulate: bool = True,
     ) -> np.ndarray:
-        """Accumulate the kernel action into ``out`` (same contract as
-        :meth:`TermSet.apply`).  ``fin``/``out`` must be C-contiguous with
-        cell axes equal to the plan's ``cell_shape``.
+        """Accumulate the kernel action into ``out``.
+
+        ``fin`` is cell-major ``(*cfg_cells, nin, *vel_cells)`` and ``out``
+        cell-major ``(*cfg_cells, nout, *vel_cells)``; ``out`` must be
+        C-contiguous (it is accumulated in place), and a non-contiguous
+        ``fin`` incurs one audited normalizing copy.
 
         With ``accumulate=False`` the prior contents of ``out`` are
         discarded (``out = K f`` rather than ``out += K f``) without the
         caller having to zero it — the first dense write assigns.
         """
-        if fin.shape[1:] != self.cell_shape:
+        if fin.shape != self.in_shape:
             raise ValueError(
-                f"plan compiled for cells {self.cell_shape}, got {fin.shape[1:]}"
+                f"plan compiled for input {self.in_shape}, got {fin.shape}"
+            )
+        if out.shape != self.out_shape:
+            raise ValueError(
+                f"plan compiled for output {self.out_shape}, got {out.shape}"
             )
         if not out.flags.c_contiguous:
             raise ValueError("out must be C-contiguous (accumulated in place)")
-        pool, backend = self.pool, self.backend
-
-        # dense (configuration-batched) part first: in non-accumulating
-        # mode its cell-major result is *assigned* into out, saving a zero
-        # pass; the sparse parts below always accumulate on top.  The
-        # cell-major gather consumes strided views directly, so sliced
-        # surface states need no up-front contiguous copy.
-        if self._cfg:
-            self._apply_cfg(fin, aux, out, assign=not accumulate)
-        elif not accumulate:
-            out.fill(0.0)
-
-        if not fin.flags.c_contiguous and (self._uniform or self._fallback):
+        pool = self.pool
+        if not fin.flags.c_contiguous:
+            # cell-major callers hand contiguous state everywhere in steady
+            # state; this normalizing copy only fires on exotic inputs and
+            # is audited so the copy-assert tests can prove it never runs
+            pool.record_layout_copy("plan.fcontig", fin.shape)
             fcontig = pool.get("plan.fcontig", fin.shape)
             np.copyto(fcontig, fin)
             fin = fcontig
-        out2 = out.reshape(self.nout, self.ncells)
+        f3 = fin.reshape(self.ncfg, self.nin, self.nvel)
+        out3 = out.reshape(self.ncfg, self.nout, self.nvel)
+        # velocity-weighted states, computed once per distinct factor and
+        # shared between the dense (cfg-batched) and sparse parts — the
+        # volume plan's acceleration and streaming groups read the same
+        # ``f * w_j`` products
+        wcache: Dict[Tuple[str, ...], np.ndarray] = {}
+
+        # dense (configuration-batched) part first: in non-accumulating
+        # mode its result is *assigned* into out, saving a zero pass; the
+        # sparse parts below always accumulate on top
+        if self._cfg:
+            self._apply_cfg_into(f3, fin, aux, out3, wcache, accumulate=accumulate)
+        elif not accumulate:
+            out.fill(0.0)
 
         for grp in self._uniform:
             if grp.vel_names:
-                velfac = np.broadcast_to(
-                    self._vel_product(grp.vel_names, aux), (1,) + self.cell_shape
-                )
-                g = pool.get("plan.g", (self.nin,) + self.cell_shape)
-                np.multiply(fin, velfac, out=g)
-                x2 = g.reshape(self.nin, self.ncells)
+                g = self._weighted(fin, grp.vel_names, aux, wcache)
+                x2 = g.reshape(self.ncfg * self.nin, self.nvel)
             else:
-                x2 = fin.reshape(self.nin, self.ncells)
-            for scalar_names, mat, dbuf in grp.terms:
-                c = 1.0
-                for name in scalar_names:
-                    c *= _scalar_value(aux[name])
-                np.multiply(mat.data, c, out=dbuf)
-                _csr_accumulate(mat, dbuf, x2, out2)
+                x2 = fin.reshape(self.ncfg * self.nin, self.nvel)
+            y2 = out.reshape(self.ncfg * self.nout, self.nvel)
+            for scalar_names, bmat, dbuf in grp.terms:
+                if scalar_names:
+                    c = 1.0
+                    for name in scalar_names:
+                        c *= _scalar_value(aux[name])
+                    np.multiply(bmat.data, c, out=dbuf)
+                    data = dbuf
+                else:
+                    data = bmat.data  # no scalar factors: no data pass
+                # one batched sweep over every configuration cell's
+                # contiguous block (block-diagonal kron, bit-identical rows)
+                csr_accumulate(bmat, data, x2, y2)
 
         if self._fallback is not None:
-            self._fallback.apply(fin, aux, out)
+            self._fallback.apply_cm(fin, aux, out, self.cdim)
         return out
 
-    def _apply_cfg(self, fin, aux, out, assign: bool) -> None:
-        """Configuration-batched dense part, phase-major target: compute in
-        cell-major scratch, then transform-assign (or -add) into ``out``."""
-        pool = self.pool
-        out3 = out.reshape(self.nout, self.ncfg, self.nvel)
-        outc = pool.get("plan.outc", (self.ncfg, self.nout, self.nvel))
-        self._apply_cfg_into(fin, aux, outc, accumulate=False)
-        outc_t = outc.transpose(1, 0, 2)
-        if assign:
-            np.copyto(out3, outc_t)
-        else:
-            out3 += outc_t
-
-    def apply_cellmajor(
+    def _weighted(
         self,
         fin: np.ndarray,
+        names: Tuple[str, ...],
         aux: Dict[str, AuxValue],
-        outc: np.ndarray,
-        accumulate: bool = True,
+        wcache: Dict[Tuple[str, ...], np.ndarray],
     ) -> np.ndarray:
-        """Apply into a cell-major target ``(ncfg, nout, nvel)`` — the
-        batched products' native layout, skipping the phase-major transform.
-        Only valid for fully configuration-batched plans (no sparse or
-        fallback parts), e.g. the acceleration surface kernels."""
-        if self._uniform or self._fallback is not None:
-            raise ValueError(
-                "cell-major application requires a fully configuration-"
-                "batched plan (this one has sparse/fallback parts)"
-            )
-        if fin.shape[1:] != self.cell_shape:
-            raise ValueError(
-                f"plan compiled for cells {self.cell_shape}, got {fin.shape[1:]}"
-            )
-        if not outc.flags.c_contiguous or outc.shape != (
-            self.ncfg, self.nout, self.nvel,
-        ):
-            raise ValueError(
-                f"outc must be C-contiguous with shape "
-                f"{(self.ncfg, self.nout, self.nvel)}"
-            )
-        if not self._cfg:
-            if not accumulate:
-                outc.fill(0.0)
-            return outc
-        self._apply_cfg_into(fin, aux, outc, accumulate=accumulate)
-        return outc
+        """``fin`` times the velocity factor named by ``names`` — computed
+        once per apply and shared across groups (pooled per factor)."""
+        g = wcache.get(names)
+        if g is None:
+            velfac = self._vel_factor_b(names, aux)
+            g = self.pool.get(f"plan.g:{'*'.join(names)}", self.in_shape)
+            np.multiply(fin, velfac, out=g)
+            wcache[names] = g
+        return g
 
-    def _apply_cfg_into(self, fin, aux, outc, accumulate: bool) -> None:
+    def _apply_cfg_into(self, f3, fin, aux, outc, wcache, accumulate: bool) -> None:
         """Assemble per-cell operators with one small GEMM and apply them
-        with one batched GEMM per group, into the cell-major ``outc``
-        (assigned when ``accumulate`` is False)."""
+        with one batched GEMM per group, straight from/to the cell-major
+        state views (assigned when ``accumulate`` is False)."""
         pool, backend = self.pool, self.backend
-        fc = pool.get("plan.fc", (self.ncfg, self.nin, self.nvel))
-        # cell-major gather straight from (possibly strided) fin: one pass
-        fcv = fc.reshape(self.cfg_shape + (self.nin,) + self.vel_shape)
-        np.copyto(fcv, np.moveaxis(fin, 0, self.cdim))
         if self._fact is not None:
             u, vt, r_out, r_in = self._fact
             # reduced space: trace once, per-group small products, lift once
             gt = pool.get("plan.gt", (self.ncfg, r_in, self.nvel))
-            backend.batched_gemm(vt, fc, out=gt)
+            backend.batched_gemm(vt, f3, out=gt)
             acc = pool.get("plan.outhat", (self.ncfg, r_out, self.nvel))
-            mm = pool.get("plan.mmhat", (self.ncfg, r_out, self.nvel))
             work, rows, cols = gt, r_out, r_in
             acc_assigned = False  # the reduced accumulator starts fresh
         else:
             acc = outc
-            mm = pool.get("plan.mm", (self.ncfg, self.nout, self.nvel))
-            work, rows, cols = fc, self.nout, self.nin
+            work, rows, cols = f3, self.nout, self.nin
             acc_assigned = accumulate  # outc already holds a carried result
         for igrp, grp in enumerate(self._cfg):
             n_items = len(grp.items)
@@ -470,27 +467,30 @@ class ExecutionPlan:
             backend.gemm(coef.T, grp.hat if self._fact is not None else grp.mats, out=amat)
             a3 = amat.reshape(self.ncfg, rows, cols)
             if grp.vel_names:
-                vprod = self._vel_product(grp.vel_names, aux)
-                # drop the (size-one) configuration axes, flatten velocity;
-                # column scaling commutes with the trace product, so it is
-                # applied in the reduced space when factorized
-                velfac = np.broadcast_to(
-                    vprod.reshape(vprod.shape[self.cdim :]), self.vel_shape
-                ).reshape(1, 1, self.nvel)
-                gc = pool.get("plan.gc", (self.ncfg, cols, self.nvel))
-                np.multiply(work, velfac, out=gc)
+                if self._fact is not None:
+                    # column scaling commutes with the trace product, so it
+                    # is applied in the (cheap) reduced space
+                    vprod = self._vel_product(grp.vel_names, aux)
+                    velfac = np.broadcast_to(
+                        vprod.reshape(vprod.shape[self.cdim :]), self.vel_shape
+                    ).reshape(1, 1, self.nvel)
+                    gc = pool.get("plan.gc", (self.ncfg, cols, self.nvel))
+                    np.multiply(work, velfac, out=gc)
+                else:
+                    # full-width weighted state, shared with the sparse part
+                    gc = self._weighted(fin, grp.vel_names, aux, wcache).reshape(
+                        self.ncfg, cols, self.nvel
+                    )
             else:
                 gc = work
             if igrp == 0 and not acc_assigned:
                 backend.batched_gemm(a3, gc, out=acc)
             else:
-                backend.batched_gemm(a3, gc, out=mm)
-                acc += mm
+                # in-place accumulation: no staging buffer, no extra pass
+                backend.batched_gemm_acc(a3, gc, acc)
         if self._fact is not None:
             if accumulate:
-                lift = pool.get("plan.lift", (self.ncfg, self.nout, self.nvel))
-                backend.batched_gemm(u, acc, out=lift)
-                outc += lift
+                backend.batched_gemm_acc(u, acc, outc)
             else:
                 backend.batched_gemm(u, acc, out=outc)
 
@@ -498,7 +498,7 @@ class ExecutionPlan:
     @property
     def is_pure_cfg(self) -> bool:
         """True when every term is configuration-batched (no sparse or
-        fallback parts) — the precondition of :meth:`apply_cellmajor`."""
+        fallback parts)."""
         return not self._uniform and self._fallback is None
 
     @property

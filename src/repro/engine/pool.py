@@ -20,10 +20,32 @@ __all__ = ["ScratchPool"]
 
 
 class ScratchPool:
-    """Dictionary of reusable float64 work arrays keyed by (tag, shape)."""
+    """Dictionary of reusable float64 work arrays keyed by (tag, shape).
+
+    The pool also audits *layout-normalizing copies*: code that is forced to
+    copy a full state array into scratch just to fix its memory layout (a
+    non-contiguous input where the cell-major hot path expects contiguous
+    state) reports it through :meth:`record_layout_copy`.  In steady state
+    the cell-major layout makes every such copy unnecessary, and tests turn
+    on :attr:`copy_debug` to assert none happen.
+    """
 
     def __init__(self):
         self._arrays: Dict[Tuple[str, Tuple[int, ...]], np.ndarray] = {}
+        #: when True, any layout-normalizing copy raises instead of counting
+        self.copy_debug = False
+        #: cumulative count of layout-normalizing copies (diagnostics)
+        self.layout_copies = 0
+
+    def record_layout_copy(self, tag: str, shape: Tuple[int, ...] = ()) -> None:
+        """Note (or, under ``copy_debug``, reject) a copy made solely to
+        normalize an array's memory layout."""
+        self.layout_copies += 1
+        if self.copy_debug:
+            raise RuntimeError(
+                f"unexpected layout-normalizing copy {tag!r} (shape {shape}); "
+                "the cell-major hot path must consume state without copies"
+            )
 
     def get(self, tag: str, shape: Tuple[int, ...], zero: bool = False) -> np.ndarray:
         """Fetch the persistent buffer for ``(tag, shape)``.

@@ -1,8 +1,11 @@
 """Modal DG solver for (perfectly hyperbolic) Maxwell's equations.
 
-State layout: 8 components ``(Ex, Ey, Ez, Bx, By, Bz, phi, psi)``, each an
-array of configuration-space modal coefficients ``(Npc, *cfg_cells)``.  The
-equations (normalized, :math:`\\epsilon_0 = \\mu_0 = 1` by default):
+State layout: **cell-major** ``(*cfg_cells, 8, Npc)`` with components
+``(Ex, Ey, Ez, Bx, By, Bz, phi, psi)`` on the second-to-last axis — the
+per-cell coefficient blocks are contiguous (the batched products below are
+plain ``matmul`` on the trailing axes) and a halo slab along a
+configuration axis is a contiguous span.  The equations (normalized,
+:math:`\\epsilon_0 = \\mu_0 = 1` by default):
 
 .. math::
 
@@ -110,19 +113,24 @@ class MaxwellSolver:
         self.num_basis = basis.num_basis
         ndim = grid.ndim
         self._flux_entries = _flux_entries(self.c, self.chi_e, self.chi_m)
-        self._deriv = [derivative_matrix(basis, d) for d in range(ndim)]
-        self._faces = [face_matrices(basis, d) for d in range(ndim)]
+        # transposed operator matrices: cell-major blocks right-multiply
+        # (``g @ D^T`` batches over cells and components in one matmul)
+        self._deriv_t = [derivative_matrix(basis, d).T.copy() for d in range(ndim)]
+        self._faces_t = [
+            {side: m.T.copy() for side, m in face_matrices(basis, d).items()}
+            for d in range(ndim)
+        ]
         self._rdx = [2.0 / dx for dx in grid.dx]
 
     # ------------------------------------------------------------------ #
     def allocate(self) -> np.ndarray:
-        return np.zeros((8, self.num_basis) + self.grid.cells)
+        return np.zeros(self.grid.cells + (8, self.num_basis))
 
     def _apply_flux_jacobian(self, q: np.ndarray, d: int) -> np.ndarray:
         """Compute ``A_d q`` component-wise (sparse in components)."""
         out = np.zeros_like(q)
         for tgt, src, coeff in self._flux_entries[d]:
-            out[tgt] += coeff * q[src]
+            out[..., tgt, :] += coeff * q[..., src, :]
         return out
 
     def rhs(
@@ -137,12 +145,12 @@ class MaxwellSolver:
         Parameters
         ----------
         q:
-            Field state ``(8, Npc, *cfg_cells)``.
+            Field state, cell-major ``(*cfg_cells, 8, Npc)``.
         current:
-            Optional plasma current ``(3, Npc, *cfg_cells)`` (enters as
+            Optional plasma current ``(*cfg_cells, 3, Npc)`` (enters as
             ``-J/epsilon0`` in the E equations).
         charge_density:
-            Optional ``(Npc, *cfg_cells)`` for the phi cleaning source.
+            Optional ``(*cfg_cells, Npc)`` for the phi cleaning source.
         """
         if out is None:
             out = np.zeros_like(q)
@@ -152,31 +160,32 @@ class MaxwellSolver:
         for d in range(ndim):
             rdx = self._rdx[d]
             g = self._apply_flux_jacobian(q, d)
-            # volume: out[c] += rdx * D_d @ g[c]  (batched matmul)
-            out += rdx * np.einsum("lm,cm...->cl...", self._deriv[d], g)
-            # surfaces (periodic): face i between cells i and i+1 along axis
-            axis = 2 + d
+            # volume: out[cell, c] += rdx * g[cell, c] @ D_d^T (batched matmul)
+            out += rdx * np.matmul(g, self._deriv_t[d])
+            # surfaces (periodic): face i between cells i and i+1 along the
+            # leading configuration axis d
+            axis = d
             g_left = 0.5 * g
             g_right = 0.5 * np.roll(g, -1, axis=axis)
-            fm = self._faces[d]
-            inc_left = np.einsum("lm,cm...->cl...", fm[("L", "L")], g_left)
-            inc_left += np.einsum("lm,cm...->cl...", fm[("L", "R")], g_right)
-            inc_right = np.einsum("lm,cm...->cl...", fm[("R", "L")], g_left)
-            inc_right += np.einsum("lm,cm...->cl...", fm[("R", "R")], g_right)
+            fm = self._faces_t[d]
+            inc_left = np.matmul(g_left, fm[("L", "L")])
+            inc_left += np.matmul(g_right, fm[("L", "R")])
+            inc_right = np.matmul(g_left, fm[("R", "L")])
+            inc_right += np.matmul(g_right, fm[("R", "R")])
             if self.flux == "upwind":
                 tau = self._max_speed()
                 jump_l = 0.5 * tau * q
                 jump_r = -0.5 * tau * np.roll(q, -1, axis=axis)
-                inc_left += np.einsum("lm,cm...->cl...", fm[("L", "L")], jump_l)
-                inc_left += np.einsum("lm,cm...->cl...", fm[("L", "R")], jump_r)
-                inc_right += np.einsum("lm,cm...->cl...", fm[("R", "L")], jump_l)
-                inc_right += np.einsum("lm,cm...->cl...", fm[("R", "R")], jump_r)
+                inc_left += np.matmul(jump_l, fm[("L", "L")])
+                inc_left += np.matmul(jump_r, fm[("L", "R")])
+                inc_right += np.matmul(jump_l, fm[("R", "L")])
+                inc_right += np.matmul(jump_r, fm[("R", "R")])
             out += rdx * inc_left
             out += rdx * np.roll(inc_right, 1, axis=axis)
         if current is not None:
-            out[0:3] -= current / self.epsilon0
+            out[..., 0:3, :] -= current / self.epsilon0
         if charge_density is not None and self.chi_e:
-            out[6] -= self.chi_e * charge_density / self.epsilon0
+            out[..., 6, :] -= self.chi_e * charge_density / self.epsilon0
         return out
 
     def _max_speed(self) -> float:
@@ -190,8 +199,8 @@ class MaxwellSolver:
         squared coefficient norm times the cell Jacobian.
         """
         jac = float(np.prod([0.5 * dx for dx in self.grid.dx]))
-        e2 = float(np.sum(q[0:3] ** 2))
-        b2 = float(np.sum(q[3:6] ** 2))
+        e2 = float(np.sum(q[..., 0:3, :] ** 2))
+        b2 = float(np.sum(q[..., 3:6, :] ** 2))
         return 0.5 * self.epsilon0 * (e2 + self.c ** 2 * b2) * jac
 
     def max_frequency(self) -> float:
@@ -209,5 +218,5 @@ class MaxwellSolver:
         q = self.allocate()
         for name, fn in funcs.items():
             comp = COMPONENT_NAMES.index(name)
-            q[comp] = project_conf_function(fn, self.grid, self.basis)
+            q[..., comp, :] = project_conf_function(fn, self.grid, self.basis)
         return q

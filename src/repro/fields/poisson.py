@@ -36,12 +36,20 @@ class Poisson1D:
         Parameters
         ----------
         rho:
-            Charge density coefficients ``(Npc, nx)``.
+            Charge density coefficients, cell-major ``(nx, Npc)``.
         neutral_tol:
             Absolute net-charge guard.  Periodicity requires a neutral
             domain; roundoff-level residuals are redistributed uniformly,
             anything larger raises.
+
+        Returns
+        -------
+        Cell-major ``(nx, Npc)`` coefficients of ``E_x``.
         """
+        # the Legendre antiderivative recurrences below index the degree on
+        # axis 0; the conf-space arrays are tiny (1-D), so work mode-major
+        # internally and flip at the boundary
+        rho = np.ascontiguousarray(rho.T)
         npc, nx = rho.shape
         dx = self.grid.dx[0]
         # Legendre series of rho per cell: c_n = rho_n * norm_n
@@ -71,4 +79,4 @@ class Poisson1D:
         # enforce zero domain mean through the constant mode
         mean = e_modal[0].mean()
         e_modal[0] -= mean
-        return e_modal
+        return np.ascontiguousarray(e_modal.T)

@@ -4,11 +4,15 @@ A :class:`PhaseGrid` couples a configuration-space :class:`~repro.grid.cartesian
 with a velocity-space grid for one species.  It owns the cell-shape
 conventions used throughout the solvers:
 
-* coefficient arrays are shaped ``(Np, *cfg_cells, *vel_cells)``;
-* phase dimension ``d < cdim`` maps to array axis ``1 + d``;
+* coefficient arrays are **cell-major**: ``(*cfg_cells, Np, *vel_cells)``
+  (see :class:`repro.engine.layout.StateLayout`);
+* phase dimension ``d`` maps to array axis ``d`` for configuration
+  dimensions and ``1 + d`` for velocity dimensions (the basis axis sits
+  between them);
 * velocity centers / field coefficients are exposed as arrays broadcastable
-  against the cell axes, which is what the generated kernels consume as
-  runtime symbols (``w{d}``, ``rdx{d}``, ``E{j}_{k}``, ...).
+  against the ``(*cfg, *vel)`` cell axes (no basis axis — the engine
+  inserts it), which is what the generated kernels consume as runtime
+  symbols (``w{d}``, ``rdx{d}``, ``E{j}_{k}``, ...).
 
 Following Gkeyll practice, velocity grids should not have cells straddling
 ``v = 0`` (use an even cell count over a symmetric interval); the streaming

@@ -1,8 +1,11 @@
 """Checkpoint/restart I/O."""
 
 from .checkpoint import (
+    CANONICAL_LAYOUT,
     checkpoint_roundtrip_equal,
+    convert_checkpoint_layout,
     load_checkpoint,
+    normalize_state_layout,
     restore_app,
     save_app,
     save_checkpoint,
@@ -14,4 +17,7 @@ __all__ = [
     "save_app",
     "restore_app",
     "checkpoint_roundtrip_equal",
+    "normalize_state_layout",
+    "convert_checkpoint_layout",
+    "CANONICAL_LAYOUT",
 ]

@@ -4,6 +4,14 @@ A kinetic checkpoint is the full set of species distribution functions plus
 the EM field state and the simulation clock.  Files are self-describing:
 array names mirror the App state keys, and scalar metadata is stored under a
 ``meta/`` prefix.
+
+Layout compatibility: checkpoints written since the cell-major refactor tag
+``meta["layout"] = "cell-major"``; files written before it (no tag, or an
+explicit ``"mode-major"``) hold mode-major arrays and are converted
+transparently — element-exact, values unchanged — on load via
+:func:`normalize_state_layout`.  :func:`convert_checkpoint_layout` rewrites
+a file in either direction, so new checkpoints can also be handed back to
+pre-refactor tooling.
 """
 
 from __future__ import annotations
@@ -14,9 +22,26 @@ from typing import Dict, Union
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_roundtrip_equal"]
+from ..engine.layout import (
+    conf_to_cell_major,
+    conf_to_mode_major,
+    phase_to_cell_major,
+    phase_to_mode_major,
+)
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_roundtrip_equal",
+    "normalize_state_layout",
+    "convert_checkpoint_layout",
+    "CANONICAL_LAYOUT",
+]
 
 PathLike = Union[str, Path]
+
+CANONICAL_LAYOUT = "cell-major"
+LEGACY_LAYOUT = "mode-major"
 
 
 def save_checkpoint(path: PathLike, state: Dict[str, np.ndarray], meta: Dict) -> None:
@@ -24,9 +49,13 @@ def save_checkpoint(path: PathLike, state: Dict[str, np.ndarray], meta: Dict) ->
 
     State keys are stored losslessly: arrays go in under positional names
     (``state_0``, ``state_1``, ...) and the true keys travel in a JSON
-    manifest, so keys containing ``/`` or ``__`` round-trip exactly.
+    manifest, so keys containing ``/`` or ``__`` round-trip exactly.  The
+    state layout is recorded under ``meta["layout"]`` (defaulting to the
+    canonical cell-major layout).
     """
     path = Path(path)
+    meta = dict(meta)
+    meta.setdefault("layout", CANONICAL_LAYOUT)
     keys = list(state)
     payload = {f"state_{i}": state[k] for i, k in enumerate(keys)}
     payload["state_keys_json"] = np.frombuffer(
@@ -45,6 +74,9 @@ def load_checkpoint(path: PathLike):
     Checkpoints written before the key manifest existed (array names munged
     as ``state__<key with / replaced by __>``) still load, with the caveat
     that their keys containing literal ``__`` were never recoverable.
+    Arrays are returned in the layout named by ``meta.get("layout")``
+    (missing = legacy mode-major); app-level loaders call
+    :func:`normalize_state_layout` to reach the canonical layout.
     """
     with np.load(Path(path)) as data:
         meta = json.loads(bytes(data["meta_json"]).decode())
@@ -68,6 +100,70 @@ def checkpoint_roundtrip_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray
     return all(np.array_equal(a[k], b[k]) for k in a)
 
 
+# --------------------------------------------------------------------- #
+# layout conversion
+# --------------------------------------------------------------------- #
+def _convert_state(state: Dict[str, np.ndarray], cdim: int, to_cell_major: bool):
+    """Convert app state arrays between layouts (element-exact transposes).
+
+    Keys: ``f/<species>`` are phase-space (``Np`` first in mode-major, at
+    axis ``cdim`` in cell-major); ``em`` has two leading (component,
+    coefficient) axes in mode-major that trail in cell-major; anything else
+    (history series, scalars) passes through untouched.
+    """
+    out: Dict[str, np.ndarray] = {}
+    for key, arr in state.items():
+        arr = np.asarray(arr)
+        if key.startswith("f/"):
+            out[key] = (
+                phase_to_cell_major(arr, cdim)
+                if to_cell_major
+                else phase_to_mode_major(arr, cdim)
+            )
+        elif key == "em":
+            out[key] = (
+                conf_to_cell_major(arr, cdim, lead=2)
+                if to_cell_major
+                else conf_to_mode_major(arr, cdim, lead=2)
+            )
+        else:
+            out[key] = arr
+    return out
+
+
+def normalize_state_layout(
+    state: Dict[str, np.ndarray], meta: Dict, cdim: int
+) -> Dict[str, np.ndarray]:
+    """Return ``state`` in the canonical cell-major layout, converting
+    legacy mode-major checkpoints (missing or non-canonical ``layout`` tag)
+    element-exactly."""
+    layout = meta.get("layout", LEGACY_LAYOUT)
+    if layout == CANONICAL_LAYOUT:
+        return {k: np.asarray(v) for k, v in state.items()}
+    if layout != LEGACY_LAYOUT:
+        raise ValueError(f"unknown checkpoint layout {layout!r}")
+    return _convert_state(state, cdim, to_cell_major=True)
+
+
+def convert_checkpoint_layout(
+    src: PathLike, dst: PathLike, cdim: int, to: str = CANONICAL_LAYOUT
+) -> None:
+    """Rewrite checkpoint ``src`` as ``dst`` in layout ``to`` (either
+    direction; values are element-exact under round-trip)."""
+    if to not in (CANONICAL_LAYOUT, LEGACY_LAYOUT):
+        raise ValueError(f"unknown target layout {to!r}")
+    state, meta = load_checkpoint(src)
+    have = meta.get("layout", LEGACY_LAYOUT)
+    if have != to:
+        state = _convert_state(state, cdim, to_cell_major=(to == CANONICAL_LAYOUT))
+    meta = dict(meta)
+    meta["layout"] = to  # explicit tag survives save_checkpoint's setdefault
+    save_checkpoint(dst, state, meta)
+
+
+# --------------------------------------------------------------------- #
+# app-level helpers
+# --------------------------------------------------------------------- #
 def save_app(path: PathLike, app) -> None:
     """Checkpoint a :class:`~repro.apps.vlasov_maxwell.VlasovMaxwellApp`."""
     meta = {
@@ -77,13 +173,16 @@ def save_app(path: PathLike, app) -> None:
         "family": app.family,
         "scheme": app.scheme,
         "species": [s.name for s in app.species],
+        "layout": CANONICAL_LAYOUT,
     }
     save_checkpoint(path, app.state(), meta)
 
 
 def restore_app(path: PathLike, app) -> Dict:
-    """Restore App state in place; returns the checkpoint metadata."""
+    """Restore App state in place (converting legacy mode-major checkpoints
+    transparently); returns the checkpoint metadata."""
     state, meta = load_checkpoint(path)
+    state = normalize_state_layout(state, meta, app.conf_grid.ndim)
     app.set_state({k: np.array(v) for k, v in state.items()})
     app.time = float(meta["time"])
     app.step_count = int(meta["step_count"])

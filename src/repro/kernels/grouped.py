@@ -17,6 +17,10 @@ into :class:`~repro.engine.plan.ExecutionPlan` objects:
    configuration dependence keep their exact sparsity and are applied as
    in-place sparse products.
 
+States are cell-major ``(*cfg_cells, N, *vel_cells)``
+(:mod:`repro.engine.layout`): the batched products consume the contiguous
+per-configuration-cell blocks directly, with no transpose pass.
+
 The result is bitwise-reassociated but exactly the same contraction
 :math:`\\sum C_{lmn} \\alpha_n f_m`; the solver-level exactness tests cover
 this path.  Per-cell work is unchanged (it is the same nonzero data densely
@@ -118,6 +122,11 @@ class GroupedOperator:
         return len(self._plans)
 
     # ------------------------------------------------------------------ #
+    def cell_shape_of(self, fin: np.ndarray) -> Tuple[int, ...]:
+        """The ``(*cfg_cells, *vel_cells)`` axes of a cell-major state
+        (basis axis at position ``cdim`` removed)."""
+        return fin.shape[: self.cdim] + fin.shape[self.cdim + 1 :]
+
     def apply(
         self,
         fin: np.ndarray,
@@ -125,25 +134,13 @@ class GroupedOperator:
         out: np.ndarray,
         accumulate: bool = True,
     ) -> np.ndarray:
-        """Accumulate the kernel action (same contract as ``TermSet.apply``).
+        """Accumulate the kernel action on cell-major state.
 
-        ``fin``/``out`` have shape ``(N, *cfg_cells, *vel_cells)``; with
+        ``fin``/``out`` have shape ``(*cfg_cells, N, *vel_cells)``; with
         ``accumulate=False`` the prior contents of ``out`` are discarded.
         """
-        plan = self.plan_fast(aux, fin.shape[1:])
+        plan = self.plan_fast(aux, self.cell_shape_of(fin))
         return plan.apply(fin, aux, out, accumulate=accumulate)
-
-    def apply_cellmajor(
-        self,
-        fin: np.ndarray,
-        aux: Dict[str, AuxValue],
-        outc: np.ndarray,
-        accumulate: bool = True,
-    ) -> np.ndarray:
-        """Apply into a cell-major ``(ncfg, nout, nvel)`` target (see
-        :meth:`ExecutionPlan.apply_cellmajor`)."""
-        plan = self.plan_fast(aux, fin.shape[1:])
-        return plan.apply_cellmajor(fin, aux, outc, accumulate=accumulate)
 
     def plan_fast(
         self, aux: Dict[str, AuxValue], cell_shape: Tuple[int, ...]

@@ -33,6 +33,31 @@ AuxValue = Union[float, np.ndarray]
 
 __all__ = ["Term", "TermSet", "symbol_value", "merge_termsets", "stack_termsets"]
 
+try:  # fast in-place sparse accumulation (scipy's own csr kernel)
+    from scipy.sparse import _sparsetools as _csr_tools
+except ImportError:  # pragma: no cover - scipy always ships it
+    _csr_tools = None
+
+
+def csr_accumulate(mat: sp.csr_matrix, data: np.ndarray, x2: np.ndarray, y2: np.ndarray):
+    """``y2 += csr(mat.indptr, mat.indices, data) @ x2`` without temporaries.
+
+    ``x2``/``y2`` must be C-contiguous 2-D blocks.
+    """
+    if _csr_tools is not None:
+        _csr_tools.csr_matvecs(
+            mat.shape[0],
+            mat.shape[1],
+            x2.shape[1],
+            mat.indptr,
+            mat.indices,
+            data,
+            x2.reshape(-1),
+            y2.reshape(-1),
+        )
+    else:  # pragma: no cover - exercised only on exotic scipy builds
+        y2 += sp.csr_matrix((data, mat.indices, mat.indptr), shape=mat.shape) @ x2
+
 
 def symbol_value(aux: Dict[str, AuxValue], sym: Symbol):
     """Product of the aux factors named by ``sym`` (1.0 for the empty tuple)."""
@@ -143,6 +168,51 @@ class TermSet:
             out2 += term.matrix @ np.ascontiguousarray(
                 g.reshape(term.cols.size, ncells)
             )
+        return out
+
+    def apply_cm(
+        self,
+        fin: np.ndarray,
+        aux: Dict[str, AuxValue],
+        out: np.ndarray,
+        cdim: int,
+        scale: float = 1.0,
+    ) -> np.ndarray:
+        """Accumulate the kernel action on **cell-major** state.
+
+        ``fin`` is ``(*cfg_cells, nin, *vel_cells)`` (any strides), ``out``
+        is ``(*cfg_cells, nout, *vel_cells)`` and must be C-contiguous; aux
+        arrays broadcast over the ``(*cfg, *vel)`` cell axes exactly as in
+        :meth:`apply` (no basis axis — it is inserted here).  The per-cell
+        contraction is the same csr kernel as the mode-major path, applied
+        per configuration cell, so per-element results are bit-identical.
+        """
+        cfg_shape = fin.shape[:cdim]
+        vel_shape = fin.shape[cdim + 1 :]
+        pdim = cdim + len(vel_shape)
+        ncfg = int(np.prod(cfg_shape)) if cfg_shape else 1
+        nvel = int(np.prod(vel_shape)) if vel_shape else 1
+        out3 = out.reshape(ncfg, self.nout, nvel)
+        lead = (slice(None),) * cdim
+        for term in self.terms:
+            val = symbol_value(aux, term.sym)
+            if isinstance(val, np.ndarray) and val.ndim:
+                if val.ndim != pdim:
+                    raise ValueError(
+                        f"aux value for {term.sym} has ndim {val.ndim}, "
+                        f"expected the {pdim} cell axes"
+                    )
+                val = val.reshape(val.shape[:cdim] + (1,) + val.shape[cdim:])
+            # the product materializes a fresh contiguous cell-major array,
+            # so strided fin views (face slices, ghost windows) need no
+            # up-front copy
+            g = fin[lead + (term.cols,)] * val
+            if scale != 1.0:
+                g *= scale
+            g3 = g.reshape(ncfg, term.cols.size, nvel)
+            mat = term.matrix
+            for c in range(ncfg):
+                csr_accumulate(mat, mat.data, g3[c], out3[c])
         return out
 
     def apply_dense(self, fin: np.ndarray, aux: Dict[str, AuxValue]) -> np.ndarray:

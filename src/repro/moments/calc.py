@@ -57,8 +57,12 @@ class MomentCalculator:
         self._aux["vjac"] = float(
             np.prod([0.5 * dv for dv in phase_grid.vel.dx])
         )
+        # cell-major layout: velocity cell axes trail the basis axis
         self._vel_axes = tuple(
             range(1 + phase_grid.cdim, 1 + phase_grid.pdim)
+        )
+        self._full_shape = (
+            phase_grid.conf.cells + (self.num_conf_basis,) + phase_grid.vel.cells
         )
         self._ops = {
             name: GroupedOperator(ts, phase_grid.cdim, phase_grid.vdim, pool=self.pool)
@@ -71,7 +75,8 @@ class MomentCalculator:
     def compute(
         self, name: str, f: np.ndarray, out: Optional[np.ndarray] = None
     ) -> np.ndarray:
-        """Return moment ``name`` as ``(Npc, *cfg_cells)`` coefficients.
+        """Return moment ``name`` as cell-major ``(*cfg_cells, Npc)``
+        coefficients.
 
         ``name`` is one of ``M0`` (density), ``M1x``/``M1y``/``M1z``
         (momentum density / charge-free current), ``M2`` (:math:`\\int |v|^2 f`).
@@ -83,23 +88,23 @@ class MomentCalculator:
             raise KeyError(
                 f"moment {name!r} not generated; available: {self.available()}"
             ) from exc
-        full = self.pool.get("moments.full", (self.num_conf_basis,) + self.grid.cells)
+        full = self.pool.get("moments.full", self._full_shape)
         op.apply(f, self._aux, full, accumulate=False)
         return np.sum(full, axis=self._vel_axes, out=out)
 
     def current_density(
         self, f: np.ndarray, charge: float, out: Optional[np.ndarray] = None
     ) -> np.ndarray:
-        """Species current ``q * (M1x, M1y, M1z)`` as ``(3, Npc, *cfg)``;
-        missing velocity components are zero.  ``out``, when given, receives
-        the result (contents discarded)."""
+        """Species current ``q * (M1x, M1y, M1z)`` as cell-major
+        ``(*cfg, 3, Npc)``; missing velocity components are zero.  ``out``,
+        when given, receives the result (contents discarded)."""
         if out is None:
-            out = np.zeros((3, self.num_conf_basis) + self.grid.conf.cells)
+            out = np.zeros(self.grid.conf.cells + (3, self.num_conf_basis))
         elif self.grid.vdim < 3:
             out.fill(0.0)
         for d in range(self.grid.vdim):
-            self.compute(f"M1{'xyz'[d]}", f, out=out[d])
-            out[d] *= charge
+            self.compute(f"M1{'xyz'[d]}", f, out=out[..., d, :])
+            out[..., d, :] *= charge
         return out
 
     def charge_density(self, f: np.ndarray, charge: float) -> np.ndarray:
@@ -117,7 +122,8 @@ class MomentCalculator:
 
 
 def integrate_conf_field(coeffs: np.ndarray, phase_grid: PhaseGrid) -> float:
-    """Integrate a configuration-space DG field over the domain.
+    """Integrate a configuration-space DG field (cell-major
+    ``(*cfg_cells, Npc)``) over the domain.
 
     Only the constant mode contributes:
     ``int_cell phi_0 dx = (prod dx/2) * sqrt(2)^cdim``.
@@ -125,4 +131,4 @@ def integrate_conf_field(coeffs: np.ndarray, phase_grid: PhaseGrid) -> float:
     cdim = phase_grid.cdim
     jac = float(np.prod([0.5 * dx for dx in phase_grid.conf.dx]))
     weight = float(np.sqrt(2.0) ** cdim)
-    return float(coeffs[0].sum() * jac * weight)
+    return float(coeffs[..., 0].sum() * jac * weight)

@@ -61,24 +61,22 @@ def triple_product_tensor(basis: ModalBasis) -> np.ndarray:
 def weak_multiply(a: np.ndarray, b: np.ndarray, basis: ModalBasis) -> np.ndarray:
     """Modal coefficients of the L2 projection of ``a * b``.
 
-    ``a``, ``b``: coefficient arrays ``(Np, *cells)``.
+    ``a``, ``b``: cell-major coefficient arrays ``(*cells, Np)``.
     """
     t = triple_product_tensor(basis)
-    return np.einsum("lmk,m...,k...->l...", t, a, b)
+    return np.einsum("lmk,...m,...k->...l", t, a, b)
 
 
 def weak_divide(num: np.ndarray, den: np.ndarray, basis: ModalBasis) -> np.ndarray:
-    """Weak division: solve ``Proj(den * u) = num`` for ``u`` cell by cell.
+    """Weak division: solve ``Proj(den * u) = num`` for ``u`` cell by cell
+    (cell-major ``(*cells, Np)`` operands — the per-cell solve batches
+    directly, no transpose).
 
     Raises ``numpy.linalg.LinAlgError`` if the denominator is (numerically)
     singular in some cell — e.g. a vanishing density.
     """
     t = triple_product_tensor(basis)
-    n = basis.num_basis
-    cells = num.shape[1:]
-    # A[l, m] = sum_k T_{lmk} den_k  per cell
-    a = np.einsum("lmk,k...->lm...", t, den)
-    a = np.moveaxis(a.reshape(n, n, -1), -1, 0)       # (ncells, n, n)
-    rhs = np.moveaxis(num.reshape(n, -1), -1, 0)[..., None]  # (ncells, n, 1)
-    sol = np.linalg.solve(a, rhs)[..., 0]             # (ncells, n)
-    return np.moveaxis(sol, 0, -1).reshape((n,) + cells)
+    # A[..., l, m] = sum_k T_{lmk} den_k  per cell
+    a = np.einsum("lmk,...k->...lm", t, den)
+    sol = np.linalg.solve(a, num[..., None])[..., 0]
+    return sol

@@ -9,6 +9,13 @@ Runs the kernel update the way the paper's two-level MPI decomposition does:
   neighbours' cells directly from the node's shared array — no intra-node
   ghost copies, exactly the MPI-3 shared-memory strategy of Sec. IV.
 
+State is cell-major (``(*cfg, Np, *vel)``; EM ``(*cfg, 8, Npc)``): the
+configuration axes lead, so every halo slab moved below is a contiguous
+span and the ghost-window views feed the kernels directly — the mode-major
+era's per-call ``np.ascontiguousarray`` staging copies are gone (weighting
+a trace into a fresh array is the only materialization, and the flux
+arithmetic needs that pass anyway).
+
 The decomposed result must equal the serial
 :class:`~repro.vlasov.modal_solver.VlasovModalSolver` RHS to machine
 precision (tested bitwise-tolerant), which validates the decomposition logic
@@ -21,6 +28,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..engine.layout import insert_basis_axis
 from ..vlasov.modal_solver import VlasovModalSolver, _axis_slice
 from .comm import SimulatedComm
 from .decomp import TwoLevelDecomposition, block_ranges
@@ -63,24 +71,20 @@ class DecomposedVlasovRunner:
         for rank in range(self.nodes):
             rng = conf.local_ranges(rank)
             ranges.append(rng)
-            sl = tuple(
-                [slice(None)]
-                + [slice(lo, hi) for lo, hi in rng]
-                + [slice(None)] * g.vdim
-            )
+            sl = tuple(slice(lo, hi) for lo, hi in rng)
             block = f[sl]
             pad_width = (
-                [(0, 0)]
-                + [(pad[d], pad[d]) for d in range(cdim)]
+                [(pad[d], pad[d]) for d in range(cdim)]
+                + [(0, 0)]
                 + [(0, 0)] * g.vdim
             )
             locals_.append(np.pad(block, pad_width))
 
-        # ---- halo exchange (periodic) -----------------------------------
+        # ---- halo exchange (periodic): leading-axis contiguous slabs ----
         for d in range(cdim):
             if not pad[d]:
                 continue
-            axis = 1 + d
+            axis = d
             for rank in range(self.nodes):
                 arr = locals_[rank]
                 n = arr.shape[axis]
@@ -99,26 +103,24 @@ class DecomposedVlasovRunner:
         # ---- compute: per node, per core slab ---------------------------
         out = np.zeros_like(f)
         vax = self._vel_axis
+        arr_vax = 1 + cdim + vax  # state-array axis of the slab velocity dim
         nvel = g.vel.cells[vax]
         slabs = block_ranges(nvel, self.cores)
         for rank in range(self.nodes):
             rng = ranges[rank]
-            em_sl = tuple([slice(None), slice(None)] + [slice(lo, hi) for lo, hi in rng])
-            em_loc = np.ascontiguousarray(em[em_sl])
+            em_loc = em[tuple(slice(lo, hi) for lo, hi in rng)]
             for (lo, hi) in slabs:
                 ext_lo = max(lo - 1, 0)
                 ext_hi = min(hi + 1, nvel)
-                win_sl = _axis_slice(
-                    f.ndim, 1 + cdim + vax, slice(ext_lo, ext_hi)
-                )
+                win_sl = _axis_slice(f.ndim, arr_vax, slice(ext_lo, ext_hi))
                 f_win = locals_[rank][win_sl]
                 rhs_ext = self._local_rhs(f_win, em_loc, pad, rng, (ext_lo, ext_hi))
                 keep = _axis_slice(
-                    rhs_ext.ndim, 1 + cdim + vax, slice(lo - ext_lo, hi - ext_lo)
+                    rhs_ext.ndim, arr_vax, slice(lo - ext_lo, hi - ext_lo)
                 )
                 out_sl = tuple(
-                    [slice(None)]
-                    + [slice(r0, r1) for r0, r1 in rng]
+                    [slice(r0, r1) for r0, r1 in rng]
+                    + [slice(None)]
                     + [
                         slice(lo, hi) if d == vax else slice(None)
                         for d in range(g.vdim)
@@ -142,13 +144,14 @@ class DecomposedVlasovRunner:
             else:
                 aux[name] = val
         npc = solver.num_conf_basis
+        cfg_loc = em_loc.shape[: g.cdim]
         for comp in range(3):
             for k in range(npc):
-                aux[f"E{comp}_{k}"] = em_loc[comp, k].reshape(
-                    em_loc.shape[2:] + (1,) * g.vdim
+                aux[f"E{comp}_{k}"] = em_loc[..., comp, k].reshape(
+                    cfg_loc + (1,) * g.vdim
                 )
-                aux[f"B{comp}_{k}"] = em_loc[3 + comp, k].reshape(
-                    em_loc.shape[2:] + (1,) * g.vdim
+                aux[f"B{comp}_{k}"] = em_loc[..., 3 + comp, k].reshape(
+                    cfg_loc + (1,) * g.vdim
                 )
         return aux
 
@@ -168,59 +171,54 @@ class DecomposedVlasovRunner:
         vax = self._vel_axis
 
         interior = tuple(
-            [slice(None)]
-            + [slice(1, -1) if pad[d] else slice(None) for d in range(cdim)]
-            + [slice(None)] * vdim
+            slice(1, -1) if pad[d] else slice(None) for d in range(cdim)
         )
-        f_int = np.ascontiguousarray(f_loc[interior])
-        out = np.zeros_like(f_int)
+        f_int = f_loc[interior]  # ghost-window view; kernels consume it as is
+        out = np.zeros(f_int.shape)
 
         # volume
         for ts in solver.kernels.vol_stream:
-            ts.apply(f_int, aux, out)
+            ts.apply_cm(f_int, aux, out, cdim)
         for ts in solver.kernels.vol_accel:
-            ts.apply(f_int, aux, out)
+            ts.apply_cm(f_int, aux, out, cdim)
 
         # streaming surfaces per config axis
         for j in range(cdim):
-            axis = 1 + j
+            axis = j
             sides = solver.kernels.surf_stream[j]
             pos = solver._upwind_pos[j]
             cell_vax = cdim + vax
             lo, hi = window
             if pos.shape[cell_vax] > 1:
                 pos = pos[_axis_slice(pos.ndim, cell_vax, slice(lo, hi))]
-            neg = 1.0 - pos
+            pos_b = insert_basis_axis(pos, cdim)
+            neg_b = insert_basis_axis(1.0 - pos, cdim)
             if not pad[j]:
-                f_left = f_int * pos
-                f_right = np.roll(f_int, -1, axis=axis) * neg
-                sides[("L", "L")].apply(f_left, aux, out)
-                sides[("L", "R")].apply(f_right, aux, out)
+                f_left = f_int * pos_b
+                f_right = np.roll(f_int, -1, axis=axis) * neg_b
+                sides[("L", "L")].apply_cm(f_left, aux, out, cdim)
+                sides[("L", "R")].apply_cm(f_right, aux, out, cdim)
                 buf = np.zeros_like(out)
-                sides[("R", "L")].apply(f_left, aux, buf)
-                sides[("R", "R")].apply(f_right, aux, buf)
+                sides[("R", "L")].apply_cm(f_left, aux, buf, cdim)
+                sides[("R", "R")].apply_cm(f_right, aux, buf, cdim)
                 out += np.roll(buf, 1, axis=axis)
                 continue
             # padded axis: restrict other config axes to interior, keep this
             # axis full (n+2 entries -> n+1 faces touching interior cells)
             view = tuple(
-                [slice(None)]
-                + [
-                    slice(None) if d == j else (slice(1, -1) if pad[d] else slice(None))
-                    for d in range(cdim)
-                ]
-                + [slice(None)] * vdim
+                slice(None) if d == j else (slice(1, -1) if pad[d] else slice(None))
+                for d in range(cdim)
             )
             garr = f_loc[view]
             n = garr.shape[axis] - 2
-            f_left = garr[_axis_slice(garr.ndim, axis, slice(0, n + 1))] * pos
-            f_right = garr[_axis_slice(garr.ndim, axis, slice(1, n + 2))] * neg
-            inc_left = np.zeros_like(f_left)
-            sides[("L", "L")].apply(f_left, aux, inc_left)
-            sides[("L", "R")].apply(f_right, aux, inc_left)
-            inc_right = np.zeros_like(f_left)
-            sides[("R", "L")].apply(f_left, aux, inc_right)
-            sides[("R", "R")].apply(f_right, aux, inc_right)
+            f_left = garr[_axis_slice(garr.ndim, axis, slice(0, n + 1))] * pos_b
+            f_right = garr[_axis_slice(garr.ndim, axis, slice(1, n + 2))] * neg_b
+            inc_left = np.zeros(f_left.shape)
+            sides[("L", "L")].apply_cm(f_left, aux, inc_left, cdim)
+            sides[("L", "R")].apply_cm(f_right, aux, inc_left, cdim)
+            inc_right = np.zeros(f_left.shape)
+            sides[("R", "L")].apply_cm(f_left, aux, inc_right, cdim)
+            sides[("R", "R")].apply_cm(f_right, aux, inc_right, cdim)
             # face k -> left-cell increment lands on pad cell k (interior for
             # k = 1..n), right-cell increment on pad cell k+1
             out += inc_left[_axis_slice(out.ndim, axis, slice(1, n + 1))]
@@ -235,14 +233,16 @@ class DecomposedVlasovRunner:
             sides = solver.kernels.surf_accel[j]
             sl_lo = _axis_slice(f_int.ndim, axis, slice(0, n - 1))
             sl_hi = _axis_slice(f_int.ndim, axis, slice(1, n))
-            f_left = np.ascontiguousarray(f_int[sl_lo]) * 0.5
-            f_right = np.ascontiguousarray(f_int[sl_hi]) * 0.5
-            inc_left = np.zeros_like(f_left)
-            sides[("L", "L")].apply(f_left, aux, inc_left)
-            sides[("L", "R")].apply(f_right, aux, inc_left)
-            inc_right = np.zeros_like(f_left)
-            sides[("R", "L")].apply(f_left, aux, inc_right)
-            sides[("R", "R")].apply(f_right, aux, inc_right)
+            # weighting the face trace materializes it contiguous; no
+            # explicit ascontiguousarray staging
+            f_left = f_int[sl_lo] * 0.5
+            f_right = f_int[sl_hi] * 0.5
+            inc_left = np.zeros(f_left.shape)
+            sides[("L", "L")].apply_cm(f_left, aux, inc_left, cdim)
+            sides[("L", "R")].apply_cm(f_right, aux, inc_left, cdim)
+            inc_right = np.zeros(f_left.shape)
+            sides[("R", "L")].apply_cm(f_left, aux, inc_right, cdim)
+            sides[("R", "R")].apply_cm(f_right, aux, inc_right, cdim)
             out[sl_lo] += inc_left
             out[sl_hi] += inc_right
         return out

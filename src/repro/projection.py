@@ -25,6 +25,7 @@ def project_on_grid(
     grid: Grid,
     basis: ModalBasis,
     quad_order: Optional[int] = None,
+    basis_axis: int = 0,
 ) -> np.ndarray:
     """Project ``fn(x0, x1, ...)`` onto every cell of a grid.
 
@@ -36,10 +37,15 @@ def project_on_grid(
         Target discretization (``basis.ndim == grid.ndim``).
     quad_order:
         Gauss points per dimension (default ``p + 3``).
+    basis_axis:
+        Position of the coefficient axis in the output (0 = mode-major
+        ``(Np, *cells)``; the cell-major wrappers below place it after the
+        configuration cell axes).
 
     Returns
     -------
-    Coefficient array of shape ``(num_basis, *grid.cells)``.
+    Coefficient array with ``num_basis`` at ``basis_axis`` among the cell
+    axes.
     """
     if basis.ndim != grid.ndim:
         raise ValueError("basis/grid dimensionality mismatch")
@@ -48,15 +54,19 @@ def project_on_grid(
     vander = basis.eval_at(pts)  # (Np, Nq)
     centers = grid.meshgrid_centers()
     half_dx = [0.5 * dx for dx in grid.dx]
-    out = np.zeros((basis.num_basis,) + grid.cells)
+    ba = int(basis_axis)
+    cells = grid.cells
+    out = np.zeros(cells[:ba] + (basis.num_basis,) + cells[ba:])
+    vshape = (1,) * ba + (-1,) + (1,) * (grid.ndim - ba)
     for q in range(pts.shape[0]):
         coords = [
             centers[d] + half_dx[d] * pts[q, d] for d in range(grid.ndim)
         ]
         vals = np.asarray(fn(*coords), dtype=float)
-        if vals.shape != grid.cells:
-            vals = np.broadcast_to(vals, grid.cells)
-        out += wts[q] * vander[:, q].reshape((-1,) + (1,) * grid.ndim) * vals
+        if vals.shape != cells:
+            vals = np.broadcast_to(vals, cells)
+        vals_b = vals.reshape(cells[:ba] + (1,) + cells[ba:])
+        out += wts[q] * vander[:, q].reshape(vshape) * vals_b
     return out
 
 
@@ -66,8 +76,8 @@ def project_conf_function(
     basis: ModalBasis,
     quad_order: Optional[int] = None,
 ) -> np.ndarray:
-    """Alias of :func:`project_on_grid` for configuration-space fields."""
-    return project_on_grid(fn, grid, basis, quad_order)
+    """Cell-major configuration-space projection ``(*cells, Npc)``."""
+    return project_on_grid(fn, grid, basis, quad_order, basis_axis=grid.ndim)
 
 
 def project_phase_function(
@@ -76,6 +86,9 @@ def project_phase_function(
     basis: ModalBasis,
     quad_order: Optional[int] = None,
 ) -> np.ndarray:
-    """Project a phase-space function ``fn(x..., v...)`` onto the phase basis."""
+    """Project a phase-space function ``fn(x..., v...)`` onto the phase
+    basis, cell-major: ``(*cfg_cells, Np, *vel_cells)``."""
     full_grid = phase_grid.conf.extend(phase_grid.vel)
-    return project_on_grid(fn, full_grid, basis, quad_order)
+    return project_on_grid(
+        fn, full_grid, basis, quad_order, basis_axis=phase_grid.cdim
+    )

@@ -23,7 +23,7 @@ from ..apps.vlasov_maxwell import ExternalField, FieldSpec, Species, VlasovMaxwe
 from ..apps.vlasov_poisson import VlasovPoissonApp
 from ..diagnostics.energy import EnergyHistory
 from ..grid.phase import PhaseGrid
-from ..io.checkpoint import load_checkpoint, save_checkpoint
+from ..io.checkpoint import load_checkpoint, normalize_state_layout, save_checkpoint
 from .errors import SpecError
 from .profiles import build_conf_profile, build_phase_profile
 from .spec import SimulationSpec
@@ -252,9 +252,14 @@ class Driver:
         drv = cls(spec, outdir=outdir, wall_clock_budget=wall_clock_budget)
         drv._stream_mode = "a"  # continue the interrupted run's stream
         app_state = {
-            k: np.array(v) for k, v in state.items() if not k.startswith(_HISTORY_PREFIX)
+            k: v for k, v in state.items() if not k.startswith(_HISTORY_PREFIX)
         }
-        drv.app.set_state(app_state)
+        # pre-refactor checkpoints hold mode-major arrays; convert them to
+        # the canonical cell-major layout element-exactly
+        app_state = normalize_state_layout(
+            app_state, meta, drv.app.conf_grid.ndim
+        )
+        drv.app.set_state({k: np.array(v) for k, v in app_state.items()})
         drv.app.time = float(meta["time"])
         drv.app.step_count = int(meta["step_count"])
         drv.wall_time = float(meta.get("wall_time", 0.0))

@@ -15,12 +15,15 @@ makes the mass matrix the identity), and every integral entering the update
 was computed exactly at generation time — eliminating the aliasing errors
 that destabilize nodal kinetic schemes.
 
-Every kernel — streaming and acceleration, volume and surface — is executed
-through the precompiled-plan engine (:mod:`repro.engine`): plans are
-compiled once per (termset, aux signature, cell shape), all temporaries come
-from one solver-owned scratch pool, and the dense batched products route
-through a pluggable :class:`~repro.engine.backend.ArrayBackend`, so the
-steady-state RHS performs no avoidable allocation.
+State is **cell-major** (:class:`~repro.engine.layout.StateLayout`):
+distribution coefficients are ``(*cfg_cells, Np, *vel_cells)`` and the EM
+state is ``(*cfg_cells, 8, Npc)``, so every batched per-cell product in the
+precompiled-plan engine (:mod:`repro.engine`) reads and writes the state
+directly — no transpose or ``ascontiguousarray`` pass anywhere in the
+steady-state RHS.  The velocity-space surface terms exploit the layout too:
+instead of gathering strided face slices, both face-trace operators are
+applied to the full contiguous state and the (cheap) boundary-invalid cells
+are simply excluded from the shifted scatter-adds.
 
 Numerical fluxes follow Juno et al. (2018) / Gkeyll:
 
@@ -41,6 +44,7 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from ..engine.backend import ArrayBackend, get_backend
+from ..engine.layout import StateLayout
 from ..engine.pool import ScratchPool
 from ..grid.phase import PhaseGrid
 from ..kernels.grouped import GroupedOperator
@@ -95,6 +99,7 @@ class VlasovModalSolver:
         )
         self.num_basis = self.kernels.num_basis
         self.num_conf_basis = self.kernels.cfg_basis.num_basis
+        self.layout = StateLayout.for_grid(phase_grid, self.num_basis)
         self._base_aux = phase_grid.base_aux()
         self._base_aux["qm"] = self.charge / self.mass
         # working aux dict refreshed in place by field_aux (geometry symbols
@@ -105,12 +110,18 @@ class VlasovModalSolver:
         self._aux_src: Optional[np.ndarray] = None
         # Streaming upwind weights per configuration direction: the sign of
         # the paired velocity coordinate at the cell center; 0.5 for cells
-        # straddling v = 0 (central fallback).
+        # straddling v = 0 (central fallback).  ``_upwind_pos`` keeps the
+        # aux-style cell-axis shape; ``_upwind_pos_b`` carries the inserted
+        # basis axis for broadcasting against cell-major state.
         self._upwind_pos = []
+        self._upwind_pos_b = []
+        self._upwind_neg_b = []
         for j in range(phase_grid.cdim):
             w = phase_grid.velocity_center_array(j)
             pos = np.where(w > 0, 1.0, np.where(w < 0, 0.0, 0.5))
             self._upwind_pos.append(pos)
+            self._upwind_pos_b.append(self.layout.bcast(pos))
+            self._upwind_neg_b.append(self.layout.bcast(1.0 - pos))
         # Every termset runs through a plan-cached GroupedOperator sharing
         # one scratch pool and backend: the field-coupled (acceleration)
         # kernels compile to batched dense products, the streaming kernels
@@ -127,11 +138,25 @@ class VlasovModalSolver:
                 ts, cdim, vdim, backend=self.backend, pool=self.pool
             )
 
+        self._op = _op
         self._vol_op = _op(
             merge_termsets(self.kernels.vol_stream + self.kernels.vol_accel)
         )
-        self._surf_stream_ops = [
+        # streaming faces: the two kernels consuming one trace state are
+        # row-stacked (same-symbol matrices merge), so each upwind-weighted
+        # state is velocity-weighted and swept once; halves of the stacked
+        # output are the face's left-cell (aligned) and right-cell (+1 roll)
+        # increments.  The per-side operators stay available for the shard
+        # blocks, whose ghost reads replace the rolls on decomposed axes.
+        self._surf_stream_sides = [
             {side: _op(ts) for side, ts in sides.items()}
+            for sides in self.kernels.surf_stream
+        ]
+        self._surf_stream_ops = [
+            {
+                "L": _op(stack_termsets([sides[("L", "L")], sides[("R", "L")]])),
+                "R": _op(stack_termsets([sides[("L", "R")], sides[("R", "R")]])),
+            }
             for sides in self.kernels.surf_stream
         ]
         # per velocity dim: operator for the left trace (stacked increments
@@ -162,8 +187,8 @@ class VlasovModalSolver:
         Parameters
         ----------
         em:
-            EM modal coefficients, shape ``(>=6, Npc, *cfg_cells)`` ordered
-            ``(Ex, Ey, Ez, Bx, By, Bz, ...)``.
+            EM modal coefficients, cell-major ``(*cfg_cells, >=6, Npc)``
+            ordered ``(Ex, Ey, Ez, Bx, By, Bz, ...)`` on the component axis.
 
         The returned dict is owned by the solver and refreshed in place on
         every call; the field entries are views into ``em``.
@@ -173,14 +198,20 @@ class VlasovModalSolver:
             return aux
         g = self.grid
         npc = self.num_conf_basis
-        if em.shape[0] < 6 or em.shape[1] != npc:
+        if (
+            em.ndim != g.cdim + 2
+            or em.shape[: g.cdim] != g.conf.cells
+            or em.shape[-2] < 6
+            or em.shape[-1] != npc
+        ):
             raise ValueError(
-                f"EM state must be (>=6, {npc}, *cfg_cells); got {em.shape}"
+                f"EM state must be cell-major {g.conf.cells + ('>=6', npc)}; "
+                f"got {em.shape}"
             )
         for comp in range(3):
             for k in range(npc):
-                aux[f"E{comp}_{k}"] = g.conf_coefficient_array(em[comp, k])
-                aux[f"B{comp}_{k}"] = g.conf_coefficient_array(em[3 + comp, k])
+                aux[f"E{comp}_{k}"] = g.conf_coefficient_array(em[..., comp, k])
+                aux[f"B{comp}_{k}"] = g.conf_coefficient_array(em[..., 3 + comp, k])
         self._aux_src = em
         return aux
 
@@ -198,19 +229,19 @@ class VlasovModalSolver:
         Parameters
         ----------
         f:
-            Distribution coefficients ``(Np, *cfg_cells, *vel_cells)``.
+            Distribution coefficients, cell-major
+            ``(*cfg_cells, Np, *vel_cells)``.
         em:
-            EM coefficients ``(>=6, Npc, *cfg_cells)``.
+            EM coefficients, cell-major ``(*cfg_cells, >=6, Npc)``.
         out:
             Optional output array (contents discarded and replaced).
         """
-        g = self.grid
-        if f.shape != (self.num_basis,) + g.cells:
+        if f.shape != self.layout.shape:
             raise ValueError(
-                f"f has shape {f.shape}, expected {(self.num_basis,) + g.cells}"
+                f"f has shape {f.shape}, expected cell-major {self.layout.shape}"
             )
         if out is None:
-            out = np.empty_like(f)
+            out = self.backend.empty(f.shape)
         aux = self.field_aux(em)
         self._accumulate_volume(f, aux, out)
         self._accumulate_streaming_surfaces(f, aux, out)
@@ -222,82 +253,98 @@ class VlasovModalSolver:
         self._vol_op.apply(f, aux, out, accumulate=False)
 
     def _accumulate_streaming_surfaces(self, f, aux, out) -> None:
-        """Periodic, upwinded configuration-space face terms."""
+        """Periodic, upwinded configuration-space face terms.  Configuration
+        axes lead in cell-major layout, so the rolled copies move contiguous
+        slabs; the stacked per-trace operators compute both cell increments
+        of every face in one weighted pass."""
+        cdim = self.grid.cdim
+        npb = self.num_basis
+        ndim = f.ndim
         f_left = self.pool.get("solver.fl", f.shape)
         f_right = self.pool.get("solver.fr", f.shape)
+        sbuf = self.pool.get(
+            "solver.sstack", f.shape[:cdim] + (2 * npb,) + f.shape[cdim + 1 :]
+        )
+        half_a = _axis_slice(ndim, cdim, slice(0, npb))
+        half_b = _axis_slice(ndim, cdim, slice(npb, 2 * npb))
         for j in range(self.grid.cdim):
-            axis = 1 + j
-            sides = self._surf_stream_ops[j]
-            pos = self._upwind_pos[j]
-            neg = 1.0 - pos
+            axis = j  # cfg axis j is array axis j in cell-major layout
+            ops = self._surf_stream_ops[j]
+            pos = self._upwind_pos_b[j]
+            neg = self._upwind_neg_b[j]
             # weighted left/right states at each face (f_right rolled to
             # align with the face's left cell)
             np.multiply(f, pos, out=f_left)
             _roll_mul(f, -1, axis, neg, out=f_right)
-            # increments to the left cell of each face (aligned with f)
-            sides[("L", "L")].apply(f_left, aux, out)
-            sides[("L", "R")].apply(f_right, aux, out)
-            # increments to the right cell of each face (shift back by one)
-            buf = self.pool.get("solver.surfbuf", out.shape)
-            sides[("R", "L")].apply(f_left, aux, buf, accumulate=False)
-            sides[("R", "R")].apply(f_right, aux, buf)
-            _add_rolled(buf, 1, axis, out)
+            ops["L"].apply(f_left, aux, sbuf, accumulate=False)
+            ops["R"].apply(f_right, aux, sbuf)
+            # aligned half: increments to the face's left cell; rolled
+            # half: increments to its right cell (shift back by one)
+            out += sbuf[half_a]
+            _add_rolled(sbuf[half_b], 1, axis, out)
 
     def _accumulate_acceleration_surfaces(self, f, aux, out) -> None:
         """Central-flux velocity-space face terms with zero-flux domain
-        boundaries (interior faces only).  The face-trace slices feed the
-        plans directly (strided gather); the flux 1/2 lives in the stacked
-        kernel coefficients."""
+        boundaries (interior faces only).
+
+        The acceleration operators have no dependence on their own velocity
+        direction, so both face-trace operators are applied to *full
+        contiguous* states — batched products straight off the cell-major
+        layout, no strided face gather.  The R trace consumes the state
+        rolled one cell back along the face direction, which face-aligns it
+        with the L trace: both accumulate into one stacked buffer whose
+        halves are then the complete left-/right-cell increments of each
+        interior face (entries at the rolled-over boundary face are simply
+        never scattered — zero-flux boundaries).
+        """
+        cdim = self.grid.cdim
+        npb = self.num_basis
+        ndim = f.ndim
+        stacked_shape = f.shape[:cdim] + (2 * npb,) + f.shape[cdim + 1 :]
         for j in range(self.grid.vdim):
-            axis = 1 + self.grid.cdim + j
+            axis = cdim + 1 + j
             n = f.shape[axis]
             if n < 2:
                 continue
             sides = self._surf_accel_ops[j]
-            sl_lo = _axis_slice(f.ndim, axis, slice(0, n - 1))
-            sl_hi = _axis_slice(f.ndim, axis, slice(1, n))
-            face_cells = f[sl_lo].shape[1:]
-            npb = self.num_basis
-            # the cell-major carry needs fully configuration-batched plans;
-            # degenerate layouts (e.g. a single configuration cell, whose
-            # field coefficients classify as scalars) take the stacked
-            # phase-major path instead, as does the penalty flux (its sparse
-            # face-mass corrections accumulate in phase-major layout)
-            cellmajor = self.velocity_flux != "penalty" and all(
-                sides[s].plan_fast(aux, face_cells).is_pure_cfg for s in "LR"
-            )
-            if not cellmajor:
-                stacked = self.pool.get("solver.astack", (2 * npb,) + face_cells)
-                sides["L"].apply(f[sl_lo], aux, stacked, accumulate=False)
-                sides["R"].apply(f[sl_hi], aux, stacked)
-                inc_left = stacked[:npb]
-                inc_right = stacked[npb:]
-                if self.velocity_flux == "penalty":
-                    tau = self._penalty_speed(aux, j)
-                    # flux correction -(tau/2)(f_R - f_L): weights +-tau/2
-                    corr_l = (f[sl_lo] * (0.5 * tau))
-                    corr_r = (f[sl_hi] * (-0.5 * tau))
-                    for t_side, inc in (("L", inc_left), ("R", inc_right)):
-                        self._face_mass(j)[(t_side, "L")].apply(corr_l, aux, inc)
-                        self._face_mass(j)[(t_side, "R")].apply(corr_r, aux, inc)
-                out[sl_lo] += inc_left
-                out[sl_hi] += inc_right
-                continue
-            # cell-major carry: both trace applications land in one buffer
-            # whose halves are scatter-added to the face's two cells — the
-            # stacked result is never materialized in phase-major layout
-            cdim = self.grid.cdim
-            cfg_cells = face_cells[:cdim]
-            ncfg = int(np.prod(cfg_cells)) if cfg_cells else 1
-            nvel = int(np.prod(face_cells[cdim:]))
-            outc = self.pool.get("solver.aoutc", (ncfg, 2 * npb, nvel))
-            sides["L"].apply_cellmajor(f[sl_lo], aux, outc, accumulate=False)
-            sides["R"].apply_cellmajor(f[sl_hi], aux, outc)
-            inc = np.moveaxis(
-                outc.reshape(cfg_cells + (2 * npb,) + face_cells[cdim:]), cdim, 0
-            )
-            out[sl_lo] += inc[:npb]
-            out[sl_hi] += inc[npb:]
+            f_roll = self.pool.get("solver.accroll", f.shape)
+            _roll_copy(f, -1, axis, f_roll)
+            buf = self.pool.get("solver.accbuf", stacked_shape)
+            # buf[i] = face i+1/2: L trace of cell i plus R trace of cell
+            # i+1 (the rolled state), valid for i <= n-2
+            sides["L"].apply(f, aux, buf, accumulate=False)
+            sides["R"].apply(f_roll, aux, buf)
+            lo, hi = slice(0, n - 1), slice(1, n)
+            sl_lo = _axis_slice(ndim, axis, lo)
+            sl_hi = _axis_slice(ndim, axis, hi)
+            out[sl_lo] += buf[_half_slice(ndim, cdim, 0, npb, axis, lo)]
+            out[sl_hi] += buf[_half_slice(ndim, cdim, npb, 2 * npb, axis, lo)]
+            if self.velocity_flux == "penalty":
+                self._accumulate_penalty(f, aux, out, j, axis, sl_lo, sl_hi)
+
+    def _accumulate_penalty(self, f, aux, out, j, axis, sl_lo, sl_hi) -> None:
+        """Local Lax-type penalty correction ``-(tau/2)(f_R - f_L)`` through
+        the face 'mass' operators (sliced face states are re-weighted into
+        pooled contiguous buffers; no layout copies)."""
+        cdim = self.grid.cdim
+        npb = self.num_basis
+        n = f.shape[axis]
+        tau = self._penalty_speed(aux, j)
+        face_shape = f[sl_lo].shape
+        corr_l = self.pool.get("solver.pcl", face_shape)
+        corr_r = self.pool.get("solver.pcr", face_shape)
+        np.multiply(f[sl_lo], 0.5 * tau, out=corr_l)
+        np.multiply(f[sl_hi], -0.5 * tau, out=corr_r)
+        pbuf = self.pool.get(
+            "solver.pbuf", face_shape[:cdim] + (2 * npb,) + face_shape[cdim + 1 :]
+        )
+        pen = self._penalty_ops(j)
+        pen["L"].apply(corr_l, aux, pbuf, accumulate=False)
+        pen["R"].apply(corr_r, aux, pbuf)
+        ndim = f.ndim
+        full = slice(0, n - 1)
+        out[sl_lo] += pbuf[_half_slice(ndim, cdim, 0, npb, axis, full)]
+        out[sl_hi] += pbuf[_half_slice(ndim, cdim, npb, 2 * npb, axis, full)]
 
     # ------------------------------------------------------------------ #
     # penalty support (optional robustness flux)
@@ -321,9 +368,23 @@ class VlasovModalSolver:
             cache[j] = generate_surface_termsets(self.kernels.phase_basis, spec)
         return cache[j]
 
+    def _penalty_ops(self, j: int):
+        """Stacked face-mass operators for the penalty flux: the L (R) trace
+        operator computes both cell increments of its face in one pass."""
+        cache = getattr(self, "_penalty_ops_cache", None)
+        if cache is None:
+            cache = {}
+            self._penalty_ops_cache = cache
+        if j not in cache:
+            fm = self._face_mass(j)
+            cache[j] = {
+                "L": self._op(stack_termsets([fm[("L", "L")], fm[("R", "L")]])),
+                "R": self._op(stack_termsets([fm[("L", "R")], fm[("R", "R")]])),
+            }
+        return cache[j]
+
     def _penalty_speed(self, aux, j: int) -> float:
         """Conservative scalar estimate of max |alpha_vj| for the penalty."""
-        npc = self.num_conf_basis
         phi0 = self.kernels.cfg_basis.norm(0)
         e_mag = np.max(np.abs(aux[f"E{j}_0"])) * phi0
         vmax = max(
@@ -349,12 +410,12 @@ class VlasovModalSolver:
         phi0 = self.kernels.cfg_basis.norm(0)
         qm = abs(self.charge / self.mass)
         for j in range(g.vdim):
-            e_mag = float(np.max(np.abs(em[j, 0]))) * phi0
+            e_mag = float(np.max(np.abs(em[..., j, 0]))) * phi0
             accel = e_mag
             for vj, bk, _sign in _CROSS_COMPONENTS[j]:
                 if vj >= g.vdim:
                     continue
-                b_mag = float(np.max(np.abs(em[3 + bk, 0]))) * phi0
+                b_mag = float(np.max(np.abs(em[..., 3 + bk, 0]))) * phi0
                 accel += g.max_velocity(vj) * b_mag
             dv = g.dx[g.cdim + j]
             freq += (2 * p + 1) * qm * accel / dv
@@ -372,6 +433,33 @@ def _axis_slice(ndim: int, axis: int, sl: slice):
     out = [slice(None)] * ndim
     out[axis] = sl
     return tuple(out)
+
+
+def _half_slice(ndim: int, basis_axis: int, b0: int, b1: int, axis: int, sl: slice):
+    """Combined index: basis-half ``[b0:b1]`` at the basis axis plus a cell
+    slice along ``axis``."""
+    out = [slice(None)] * ndim
+    out[basis_axis] = slice(b0, b1)
+    out[axis] = sl
+    return tuple(out)
+
+
+def _roll_copy(src: np.ndarray, shift: int, axis: int, out: np.ndarray):
+    """``out = roll(src, shift, axis)`` without temporaries (two slab copies)."""
+    n = src.shape[axis]
+    shift %= n
+    if shift == 0:
+        np.copyto(out, src)
+        return out
+    np.copyto(
+        out[_axis_slice(src.ndim, axis, slice(0, shift))],
+        src[_axis_slice(src.ndim, axis, slice(n - shift, n))],
+    )
+    np.copyto(
+        out[_axis_slice(src.ndim, axis, slice(shift, n))],
+        src[_axis_slice(src.ndim, axis, slice(0, n - shift))],
+    )
+    return out
 
 
 def _roll_mul(src: np.ndarray, shift: int, axis: int, weight, out: np.ndarray):

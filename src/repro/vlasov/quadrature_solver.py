@@ -8,6 +8,13 @@ pointwise, and project back with dense ``N_p x N_q`` matrices.  Dense BLAS
 matrix products (NumPy's ``dgemm``) play the role the Eigen library plays in
 the paper.
 
+State is cell-major (``(*cfg_cells, Np, *vel_cells)``, EM
+``(*cfg_cells, 8, Npc)``), so the interpolation/projection products batch
+directly over the contiguous per-configuration-cell blocks — the same
+zero-transpose discipline as the modal solver.  Quadrature values live on a
+"node axis" in the basis-axis slot, which keeps every elementwise flux
+operation a plain broadcast.
+
 Because the quadrature is exact for every integrand, this solver and
 :class:`~repro.vlasov.modal_solver.VlasovModalSolver` produce **identical**
 right-hand sides to machine precision — the comparison between them isolates
@@ -18,12 +25,13 @@ central in velocity space, zero-flux velocity boundaries).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..basis.modal import ModalBasis, tensor_gauss_points
 from ..engine.backend import ArrayBackend, get_backend
+from ..engine.layout import StateLayout, insert_basis_axis
 from ..engine.pool import ScratchPool
 from ..grid.phase import PhaseGrid
 from ..kernels.flops import alias_free_quadrature_points_1d
@@ -66,6 +74,7 @@ class VlasovQuadratureSolver:
         self.cfg_basis = ModalBasis(cdim, poly_order, family)
         self.num_basis = self.basis.num_basis
         self.num_conf_basis = self.cfg_basis.num_basis
+        self.layout = StateLayout.for_grid(phase_grid, self.num_basis)
         self.nq1 = quad_points_1d or alias_free_quadrature_points_1d(poly_order)
 
         # --- volume quadrature data -------------------------------------
@@ -73,6 +82,7 @@ class VlasovQuadratureSolver:
         self.vol_pts = pts                      # (Nqv, pdim)
         self.vol_wts = wts                      # (Nqv,)
         self.vol_interp = self.basis.eval_at(pts)            # (Np, Nqv)
+        self.vol_interp_t = np.ascontiguousarray(self.vol_interp.T)
         self.vol_deriv = [
             self.basis.eval_deriv_at(pts, d) for d in range(pdim)
         ]
@@ -82,6 +92,7 @@ class VlasovQuadratureSolver:
         self.face_pts: List[np.ndarray] = []
         self.face_wts: List[np.ndarray] = []
         self.face_interp: List[Dict[str, np.ndarray]] = []
+        self.face_interp_t: List[Dict[str, np.ndarray]] = []
         self.cfg_face_interp: List[np.ndarray] = []
         for d in range(pdim):
             if pdim > 1:
@@ -100,39 +111,49 @@ class VlasovQuadratureSolver:
                     "R": self.basis.eval_at(full_lo),
                 }
             )
+            self.face_interp_t.append(
+                {s: np.ascontiguousarray(m.T) for s, m in self.face_interp[-1].items()}
+            )
             self.cfg_face_interp.append(self.cfg_basis.eval_at(full_hi[:, :cdim]))
 
-        # streaming upwind weights (same rule as the modal solver)
+        # streaming upwind weights (same rule as the modal solver), with the
+        # node axis inserted at the basis-axis slot
         self._upwind_pos = []
         for j in range(cdim):
             w = phase_grid.velocity_center_array(j)
-            self._upwind_pos.append(
-                np.where(w > 0, 1.0, np.where(w < 0, 0.0, 0.5))
-            )
+            pos = np.where(w > 0, 1.0, np.where(w < 0, 0.0, 0.5))
+            self._upwind_pos.append(insert_basis_axis(pos, cdim))
+
+    # ------------------------------------------------------------------ #
+    # node-axis views
+    # ------------------------------------------------------------------ #
+    def _node_view(self, arr3: np.ndarray, naxis: int, vel_shape) -> np.ndarray:
+        """View a ``(ncfg, naxis, nvel)`` batch as ``(*cfg, naxis, *vel)``."""
+        return arr3.reshape(self.grid.conf.cells + (naxis,) + tuple(vel_shape))
 
     # ------------------------------------------------------------------ #
     # flux evaluation at reference points
     # ------------------------------------------------------------------ #
-    def _alpha_at_points(
-        self, d: int, pts: np.ndarray, cfg_interp: np.ndarray, em: np.ndarray
-    ) -> np.ndarray:
+    def _alpha_at_points(self, d: int, pts: np.ndarray, cfg_interp: np.ndarray, em):
         """Phase-space flux component ``alpha_d`` at the given reference
-        points, shaped to broadcast as ``(Nq, *cells)``."""
+        points, shaped to broadcast as ``(*cfg, Nq, *vel)`` (node axis in
+        the basis-axis slot)."""
         g = self.grid
         cdim, vdim = g.cdim, g.vdim
         nq = pts.shape[0]
-        ones_cells = (1,) * g.pdim
+        qshape = (1,) * cdim + (nq,) + (1,) * vdim
         if d < cdim:  # streaming: alpha = v_d
             dv = cdim + d
-            xi = pts[:, dv].reshape((nq,) + ones_cells)
-            w = g.velocity_center_array(d)[None]
+            xi = pts[:, dv].reshape(qshape)
+            w = insert_basis_axis(g.velocity_center_array(d), cdim)
             return w + 0.5 * g.dx[dv] * xi
         # acceleration: (q/m)(E_j + (v x B)_j)
         j = d - cdim
         qm = self.charge / self.mass
+
         def field_at_points(comp: int) -> np.ndarray:
-            vals = np.einsum("kq,k...->q...", cfg_interp, em[comp])
-            return vals.reshape((nq,) + g.conf.cells + (1,) * vdim)
+            vals = np.einsum("kq,...k->...q", cfg_interp, em[..., comp, :])
+            return vals.reshape(g.conf.cells + (nq,) + (1,) * vdim)
 
         alpha = field_at_points(j).copy()
         cross = {
@@ -144,8 +165,8 @@ class VlasovQuadratureSolver:
             if vj >= vdim:
                 continue
             dvj = cdim + vj
-            xi = pts[:, dvj].reshape((nq,) + ones_cells)
-            v = g.velocity_center_array(vj)[None] + 0.5 * g.dx[dvj] * xi
+            xi = pts[:, dvj].reshape(qshape)
+            v = insert_basis_axis(g.velocity_center_array(vj), cdim) + 0.5 * g.dx[dvj] * xi
             alpha = alpha + sign * v * field_at_points(bcomp)
         return qm * alpha
 
@@ -153,79 +174,105 @@ class VlasovQuadratureSolver:
     def rhs(
         self, f: np.ndarray, em: np.ndarray, out: Optional[np.ndarray] = None
     ) -> np.ndarray:
-        """Evaluate ``df/dt`` via dense interpolate -> flux -> project."""
+        """Evaluate ``df/dt`` via dense interpolate -> flux -> project
+        (cell-major state in, cell-major state out)."""
         g = self.grid
+        lay = self.layout
+        if f.shape != lay.shape:
+            raise ValueError(
+                f"f has shape {f.shape}, expected cell-major {lay.shape}"
+            )
         if out is None:
             out = np.zeros_like(f)
         else:
             out.fill(0.0)
         pdim = g.pdim
+        cdim, vdim = g.cdim, g.vdim
+        ncfg, nvel = lay.ncfg, lay.nvel
         rdx = [2.0 / dx for dx in g.dx]
+        f3 = f.reshape(ncfg, self.num_basis, nvel)
+        out3 = out.reshape(ncfg, self.num_basis, nvel)
+        vel_cells = g.vel.cells
 
         # ---------------- volume ----------------------------------------
-        # interpolate to quadrature points via one pooled dense product
+        # interpolate to quadrature points: one batched product over the
+        # contiguous per-configuration-cell blocks
         nq = self.vol_pts.shape[0]
-        fq = self.pool.get("quad.fq", (nq,) + g.cells)
-        self.backend.gemm(
-            self.vol_interp.T,
-            f.reshape(self.num_basis, -1),
-            out=fq.reshape(nq, -1),
-        )
-        wshape = (-1,) + (1,) * pdim
-        wq = self.vol_wts.reshape(wshape)
-        flux = self.pool.get("quad.flux", (nq,) + g.cells)
-        proj = self.pool.get("quad.proj", (self.num_basis,) + g.cells)
+        fq3 = self.pool.get("quad.fq", (ncfg, nq, nvel))
+        self.backend.batched_gemm(self.vol_interp_t, f3, out=fq3)
+        fq = self._node_view(fq3, nq, vel_cells)
+        wq = self.vol_wts.reshape((1,) * cdim + (-1,) + (1,) * vdim)
+        flux3 = self.pool.get("quad.flux", (ncfg, nq, nvel))
+        flux = self._node_view(flux3, nq, vel_cells)
+        proj3 = self.pool.get("quad.proj", (ncfg, self.num_basis, nvel))
         for d in range(pdim):
             alpha = self._alpha_at_points(d, self.vol_pts, self.cfg_vol_interp, em)
             np.multiply(alpha, fq, out=flux)
             flux *= wq
-            self.backend.gemm(
-                self.vol_deriv[d],
-                flux.reshape(nq, -1),
-                out=proj.reshape(self.num_basis, -1),
-            )
-            proj *= rdx[d]
-            out += proj
+            self.backend.batched_gemm(self.vol_deriv[d], flux3, out=proj3)
+            proj3 *= rdx[d]
+            out3 += proj3
 
         # ---------------- surfaces --------------------------------------
         for d in range(pdim):
-            axis = 1 + d
             interp = self.face_interp[d]
+            interp_t = self.face_interp_t[d]
             cfg_interp = self.cfg_face_interp[d]
             nqf = self.face_pts[d].shape[0]
             # face points of a face along d: xi_d fixed; alpha never depends
             # on xi_d, so either embedding gives the same flux values.
             full_pts = np.insert(self.face_pts[d], d, 1.0, axis=1)
-            wqf = self.face_wts[d].reshape((nqf,) + (1,) * pdim)
-            if d < g.cdim:
+            wqf = self.face_wts[d].reshape((1,) * cdim + (-1,) + (1,) * vdim)
+            alpha = self._alpha_at_points(d, full_pts, cfg_interp, em)
+            trl3 = self.pool.get("quad.trl", (ncfg, nqf, nvel))
+            trr3 = self.pool.get("quad.trr", (ncfg, nqf, nvel))
+            if d < cdim:
+                axis = d  # configuration axes lead in cell-major layout
                 # periodic config faces, upwind by cell-center velocity sign
-                pos = self._upwind_pos[d][None]
+                pos = self._upwind_pos[d]
                 f_right_cells = np.roll(f, -1, axis=axis)
-                trace_l = np.einsum("lq,l...->q...", interp["L"], f)
-                trace_r = np.einsum("lq,l...->q...", interp["R"], f_right_cells)
-                alpha = self._alpha_at_points(d, full_pts, cfg_interp, em)
+                self.backend.batched_gemm(interp_t["L"], f3, out=trl3)
+                self.backend.batched_gemm(
+                    interp_t["R"],
+                    f_right_cells.reshape(ncfg, self.num_basis, nvel),
+                    out=trr3,
+                )
+                trace_l = self._node_view(trl3, nqf, vel_cells)
+                trace_r = self._node_view(trr3, nqf, vel_cells)
                 fhat = wqf * alpha * (pos * trace_l + (1.0 - pos) * trace_r)
-                inc_l = -np.einsum("lq,q...->l...", interp["L"], fhat)
-                inc_r = np.einsum("lq,q...->l...", interp["R"], fhat)
-                out += rdx[d] * inc_l
-                out += rdx[d] * np.roll(inc_r, 1, axis=axis)
+                fhat3 = fhat.reshape(ncfg, nqf, nvel)
+                inc3 = self.pool.get("quad.inc", (ncfg, self.num_basis, nvel))
+                self.backend.batched_gemm(interp["L"], fhat3, out=inc3)
+                out3 -= rdx[d] * inc3
+                self.backend.batched_gemm(interp["R"], fhat3, out=inc3)
+                inc = self._node_view(inc3, self.num_basis, vel_cells)
+                out += rdx[d] * np.roll(inc, 1, axis=axis)
             else:
-                # interior velocity faces, central flux, zero-flux boundaries
+                # interior velocity faces, central flux, zero-flux
+                # boundaries: traces are per-cell quantities, so both are
+                # computed on the full contiguous state and the boundary
+                # cells are excluded from the face combination below
+                axis = 1 + d  # basis axis shifts the velocity axes by one
                 n = f.shape[axis]
                 if n < 2:
                     continue
+                self.backend.batched_gemm(interp_t["L"], f3, out=trl3)
+                self.backend.batched_gemm(interp_t["R"], f3, out=trr3)
+                trace_l = self._node_view(trl3, nqf, vel_cells)
+                trace_r = self._node_view(trr3, nqf, vel_cells)
                 sl_lo = _axis_slice(f.ndim, axis, slice(0, n - 1))
                 sl_hi = _axis_slice(f.ndim, axis, slice(1, n))
-                trace_l = np.einsum("lq,l...->q...", interp["L"], f[sl_lo])
-                trace_r = np.einsum("lq,l...->q...", interp["R"], f[sl_hi])
-                alpha = self._alpha_at_points(d, full_pts, cfg_interp, em)
-                # alpha broadcast: slice its velocity axis if it varies there
-                alpha_lo = alpha
-                fhat = wqf * alpha_lo * 0.5 * (trace_l + trace_r)
-                inc_l = -np.einsum("lq,q...->l...", interp["L"], fhat)
-                inc_r = np.einsum("lq,q...->l...", interp["R"], fhat)
-                out[sl_lo] += rdx[d] * inc_l
-                out[sl_hi] += rdx[d] * inc_r
+                # fresh contiguous face-shaped product (alpha has no
+                # dependence on this velocity direction, so no slicing)
+                fhat = wqf * alpha * 0.5 * (trace_l[sl_lo] + trace_r[sl_hi])
+                nvel_f = nvel // n * (n - 1)
+                fhat3 = fhat.reshape(ncfg, nqf, nvel_f)
+                inc3 = self.pool.get("quad.incf", (ncfg, self.num_basis, nvel_f))
+                self.backend.batched_gemm(interp["L"], fhat3, out=inc3)
+                inc = inc3.reshape(fhat.shape[:cdim] + (self.num_basis,) + fhat.shape[cdim + 1 :])
+                out[sl_lo] -= rdx[d] * inc
+                self.backend.batched_gemm(interp["R"], fhat3, out=inc3)
+                out[sl_hi] += rdx[d] * inc
         return out
 
     def max_frequency(self, em: np.ndarray) -> float:

@@ -19,6 +19,11 @@ def pytest_configure(config):
         "shard: process-sharded execution tests (CI runs them as a "
         "separate matrix leg exercising --backend process:2)",
     )
+    config.addinivalue_line(
+        "markers",
+        "layout: cell-major state-layout invariants (copy-free hot path, "
+        "legacy checkpoint compatibility, contiguous halo slabs)",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -33,8 +33,8 @@ def _setup(cdim, vdim, p, family, rng, cells=3, vcells=4):
     pg = PhaseGrid(conf, vel)
     ms = VlasovModalSolver(pg, p, family, charge=-1.0, mass=1.0)
     qs = VlasovQuadratureSolver(pg, p, family, charge=-1.0, mass=1.0)
-    f = rng.standard_normal((ms.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, ms.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (ms.num_basis,) + vel.cells)
+    em = rng.standard_normal(conf.cells + (8, ms.num_conf_basis))
     return ms, qs, f, em
 
 
@@ -57,8 +57,8 @@ def test_under_integration_differs(rng):
     pg = PhaseGrid(conf, vel)
     ms = VlasovModalSolver(pg, p, "serendipity")
     aliased = VlasovQuadratureSolver(pg, p, "serendipity", quad_points_1d=p + 1)
-    f = rng.standard_normal((ms.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, ms.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (ms.num_basis,) + vel.cells)
+    em = rng.standard_normal(conf.cells + (8, ms.num_conf_basis))
     r_modal = ms.rhs(f, em)
     r_aliased = aliased.rhs(f, em)
     # under-integration must introduce a visible error
@@ -78,7 +78,7 @@ def test_free_streaming_has_no_field_dependence(rng):
     ms, _, f, em = _setup(1, 1, 2, "serendipity", rng)
     em0 = np.zeros_like(em)
     em1 = np.zeros_like(em)
-    em1[6:] = rng.standard_normal(em1[6:].shape)  # cleaning fields don't push
+    em1[..., 6:, :] = rng.standard_normal(em1[..., 6:, :].shape)  # cleaning fields don't push
     assert np.allclose(ms.rhs(f, em0), ms.rhs(f, em1), atol=1e-14)
 
 
@@ -89,13 +89,13 @@ def test_constant_distribution_free_streams_to_zero(rng):
     vel = Grid([-2.0], [2.0], [4])
     pg = PhaseGrid(conf, vel)
     ms = VlasovModalSolver(pg, p, "serendipity")
-    f = np.zeros((ms.num_basis,) + pg.cells)
+    f = np.zeros(conf.cells + (ms.num_basis,) + vel.cells)
     # x-independent, v-dependent coefficients: fill velocity-only modes
     basis = ms.kernels.phase_basis
     for i, alpha in enumerate(basis.indices):
         if alpha[0] == 0:
-            f[i] = rng.standard_normal() * np.ones(pg.cells)
-    em = np.zeros((8, ms.num_conf_basis) + conf.cells)
+            f[:, i] = rng.standard_normal()
+    em = np.zeros(conf.cells + (8, ms.num_conf_basis))
     r = ms.rhs(f, em)
     assert np.max(np.abs(r)) < 1e-13
 
@@ -103,6 +103,6 @@ def test_constant_distribution_free_streams_to_zero(rng):
 def test_rhs_shape_validation(rng):
     ms, _, f, em = _setup(1, 1, 1, "serendipity", rng)
     with pytest.raises(ValueError):
-        ms.rhs(f[:, :2], em)
+        ms.rhs(f[..., :2], em)
     with pytest.raises(ValueError):
-        ms.rhs(f, em[:, :1])
+        ms.rhs(f, em[..., :1])

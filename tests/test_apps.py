@@ -119,7 +119,7 @@ def test_checkpoint_file_roundtrip(tmp_path):
     path = tmp_path / "c.npz"
     save_checkpoint(path, state, meta)
     state2, meta2 = load_checkpoint(path)
-    assert meta2 == meta
+    assert meta2 == {**meta, "layout": "cell-major"}
     assert set(state2) == set(state)
     for k in state:
         assert np.array_equal(state[k], state2[k])

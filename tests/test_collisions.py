@@ -77,9 +77,9 @@ def test_lbo_relaxes_toward_maxwellian(setup):
 def test_lbo_fixed_primitive_moments(setup):
     pg, p, mom, _, f = setup
     npc = 3
-    u = np.zeros((1, npc, 2))
-    vtsq = np.zeros((npc, 2))
-    vtsq[0] = np.sqrt(2.0) * 1.0  # vth^2 = 1 as a DG field
+    u = np.zeros((1, 2, npc))
+    vtsq = np.zeros((2, npc))
+    vtsq[..., 0] = np.sqrt(2.0) * 1.0  # vth^2 = 1 as a DG field
     lbo = LBOCollisions(pg, p, nu=0.5, fixed_u=u, fixed_vtsq=vtsq)
     df = lbo.rhs(f, mom)
     assert np.isfinite(df).all()

@@ -27,7 +27,7 @@ def _advect_error(nx, p, t_end=0.25):
         return np.sin(2 * np.pi * x)
 
     f = project_phase_function(f0, pg, basis)
-    em = np.zeros((8, solver.num_conf_basis) + conf.cells)
+    em = np.zeros(conf.cells + (8, solver.num_conf_basis))
     stepper = SSPRK3()
     t = 0.0
     # dt shrinks faster than dx so the RK3 error stays subdominant
@@ -44,7 +44,7 @@ def _advect_error(nx, p, t_end=0.25):
         xq = x0 + 0.5 * conf.dx[0] * pts[:, 0]
         vq = 1.0 + 0.001 * pts[:, 1]
         exact = f0(np.mod(xq - vq * t_end, 1.0), vq)
-        num = vander.T @ f[:, i, 0]
+        num = vander.T @ f[i, :, 0]
         err2 += np.sum(wts * (num - exact) ** 2)
     return np.sqrt(err2 * 0.25 * conf.dx[0] * 0.002)
 
@@ -79,7 +79,7 @@ def test_phase_mixing_is_representable():
             return np.sin(2 * np.pi * x)
 
         f = project_phase_function(f0, pg, basis)
-        em = np.zeros((8, solver.num_conf_basis) + conf.cells)
+        em = np.zeros(conf.cells + (8, solver.num_conf_basis))
         stepper = SSPRK3()
         t, t_end = 0.0, 0.2
         dt = 0.2 / solver.max_frequency(em)
@@ -97,7 +97,7 @@ def test_phase_mixing_is_representable():
                 xq = x0 + 0.5 * conf.dx[0] * pts[:, 0]
                 vq = v0 + 0.5 * vel.dx[0] * pts[:, 1]
                 exact = np.sin(2 * np.pi * np.mod(xq - vq * t_end, 1.0))
-                num = vander.T @ f[:, i, j]
+                num = vander.T @ f[i, :, j]
                 err2 += np.sum(wts * (num - exact) ** 2)
         jac = 0.25 * conf.dx[0] * vel.dx[0]
         return np.sqrt(err2 * jac)

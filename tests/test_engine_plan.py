@@ -18,6 +18,7 @@ from repro.engine import (
     classify_aux_value,
     get_backend,
 )
+from repro.engine.layout import phase_to_cell_major, phase_to_mode_major
 from repro.kernels.grouped import GroupedOperator
 from repro.kernels.termset import TermSet, merge_termsets, stack_termsets
 
@@ -78,11 +79,14 @@ def test_plan_matches_sparse_reference(seed, cdim, vdim, backend, accumulate):
     ref = np.zeros((nout,) + cfg_shape + vel_shape)
     ts.apply(f, aux, ref)
 
+    # the plan path consumes/produces the canonical cell-major layout
+    f_cm = phase_to_cell_major(f, cdim)
     op = GroupedOperator(ts, cdim, vdim, backend=backend)
-    base = rng.standard_normal(ref.shape)
+    base = rng.standard_normal(phase_to_cell_major(ref, cdim).shape)
     got = base.copy()
-    op.apply(f, aux, got, accumulate=accumulate)
-    expected = base + ref if accumulate else ref
+    op.apply(f_cm, aux, got, accumulate=accumulate)
+    ref_cm = phase_to_cell_major(ref, cdim)
+    expected = base + ref_cm if accumulate else ref_cm
     scale = max(np.max(np.abs(expected)), 1.0)
     assert np.max(np.abs(got - expected)) / scale < 1e-12
 
@@ -91,11 +95,11 @@ def test_plan_matches_sparse_reference(seed, cdim, vdim, backend, accumulate):
     f2 = rng.standard_normal(f.shape)
     ref2 = np.zeros_like(ref)
     ts.apply(f2, aux2, ref2)
-    got2 = np.zeros_like(ref)
-    op.apply(f2, aux2, got2)
+    got2 = np.zeros_like(ref_cm)
+    op.apply(phase_to_cell_major(f2, cdim), aux2, got2)
     assert op.num_plans == 1
     scale2 = max(np.max(np.abs(ref2)), 1.0)
-    assert np.max(np.abs(got2 - ref2)) / scale2 < 1e-12
+    assert np.max(np.abs(phase_to_mode_major(got2, cdim) - ref2)) / scale2 < 1e-12
 
 
 # --------------------------------------------------------------------- #
@@ -106,6 +110,7 @@ def test_stale_plan_invalidated_on_signature_change():
     op = GroupedOperator(ts, cdim=1, vdim=1)
     rng = np.random.default_rng(0)
     f = rng.standard_normal((3, 4, 5))
+    f_cm = phase_to_cell_major(f, 1)
 
     for e_val in (
         1.5,                                   # scalar
@@ -117,9 +122,11 @@ def test_stale_plan_invalidated_on_signature_change():
         aux = {"e": e_val}
         ref = np.zeros_like(f)
         ts.apply(f, aux, ref)
-        got = np.zeros_like(f)
-        op.apply(f, aux, got)
-        assert np.allclose(got, ref, rtol=1e-13, atol=1e-13), f"e={e_val!r}"
+        got = np.zeros_like(f_cm)
+        op.apply(f_cm, aux, got)
+        assert np.allclose(
+            phase_to_mode_major(got, 1), ref, rtol=1e-13, atol=1e-13
+        ), f"e={e_val!r}"
     assert op.num_plans == 4  # scalar signature compiled once, then reused
 
 
@@ -132,9 +139,9 @@ def test_plan_cache_per_cell_shape():
         f = rng.standard_normal((2, ncfg, 6))
         ref = np.zeros_like(f)
         ts.apply(f, aux, ref)
-        got = np.zeros_like(f)
-        op.apply(f, aux, got)
-        assert np.allclose(got, ref, atol=1e-14)
+        got = np.zeros((ncfg, 2, 6))
+        op.apply(phase_to_cell_major(f, 1), aux, got)
+        assert np.allclose(got, phase_to_cell_major(ref, 1), atol=1e-14)
     assert op.num_plans == 2
 
 
@@ -281,25 +288,28 @@ def test_low_rank_factorization_is_exact():
     f = rng.standard_normal((nin,) + cfg_shape + vel_shape)
     ref = np.zeros((nout,) + cfg_shape + vel_shape)
     ts.apply(f, aux, ref)
-    got = np.zeros_like(ref)
-    plan.apply(f, aux, got)
+    got = np.zeros(cfg_shape + (nout,) + vel_shape)
+    plan.apply(phase_to_cell_major(f, 1), aux, got)
     scale = max(np.max(np.abs(ref)), 1.0)
-    assert np.max(np.abs(got - ref)) / scale < 1e-12
+    assert np.max(np.abs(got - phase_to_cell_major(ref, 1))) / scale < 1e-12
 
 
 def test_plan_accepts_strided_input():
+    """A non-contiguous (strided) cell-major input still evaluates
+    exactly — through one audited normalizing copy."""
     ts = TermSet(3, 3, {("e",): [(0, 1, 1.0)], ("w",): [(2, 2, 0.5)]})
     rng = np.random.default_rng(31)
     aux = {"e": rng.standard_normal((4, 1)), "w": rng.standard_normal((1, 5))}
-    big = rng.standard_normal((3, 4, 9))
-    f_view = big[:, :, 2:7]
+    big = rng.standard_normal((4, 3, 9))
+    f_view = big[:, :, 2:7]  # cell-major (cfg=4, nb=3, vel=5), strided
     assert not f_view.flags.c_contiguous
     op = GroupedOperator(ts, 1, 1)
     ref = np.zeros((3, 4, 5))
-    ts.apply(np.ascontiguousarray(f_view), aux, ref)
-    got = np.zeros((3, 4, 5))
+    ts.apply(phase_to_mode_major(f_view, 1), aux, ref)
+    got = np.zeros((4, 3, 5))
     op.apply(f_view, aux, got)
-    assert np.allclose(got, ref, atol=1e-14)
+    assert np.allclose(got, phase_to_cell_major(ref, 1), atol=1e-14)
+    assert op.pool.layout_copies == 1  # the audited normalizing copy
 
 
 def test_plan_rejects_noncontiguous_out():
@@ -309,6 +319,20 @@ def test_plan_rejects_noncontiguous_out():
     big = np.zeros((2, 2, 4))
     with pytest.raises(ValueError, match="C-contiguous"):
         op.apply(f, {}, big[:, :, ::2])
+
+
+def test_copy_debug_rejects_layout_copies():
+    """With ``ScratchPool.copy_debug`` on, a strided full-state input is a
+    hard error — the assertion the RHS hot-path copy test builds on."""
+    ts = TermSet(2, 2, {("e",): [(0, 1, 1.0)]})
+    rng = np.random.default_rng(5)
+    aux = {"e": rng.standard_normal((3, 1))}
+    op = GroupedOperator(ts, 1, 1)
+    f = rng.standard_normal((3, 2, 8))[:, :, ::2]
+    out = np.zeros((3, 2, 4))
+    op.pool.copy_debug = True
+    with pytest.raises(RuntimeError, match="layout-normalizing copy"):
+        op.apply(f, aux, out)
 
 
 def test_single_config_cell_grid_steps():
@@ -332,8 +356,8 @@ def test_single_config_cell_matches_quadrature():
     modal = VlasovModalSolver(pg, 2, "serendipity")
     quad = VlasovQuadratureSolver(pg, 2, "serendipity")
     rng = np.random.default_rng(5)
-    f = rng.standard_normal((modal.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, modal.num_conf_basis) + pg.conf.cells)
+    f = rng.standard_normal(pg.conf.cells + (modal.num_basis,) + pg.vel.cells)
+    em = rng.standard_normal(pg.conf.cells + (8, modal.num_conf_basis))
     r_modal = modal.rhs(f, em)
     r_quad = quad.rhs(f, em)
     scale = max(np.max(np.abs(r_quad)), 1.0)

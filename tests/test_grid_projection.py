@@ -119,5 +119,5 @@ def test_phase_projection_shape():
     pg = PhaseGrid(Grid([0.0], [1.0], [3]), Grid([-2.0], [2.0], [4]))
     basis = ModalBasis(2, 1, "serendipity")
     f = project_phase_function(lambda x, v: np.exp(-v ** 2), pg, basis)
-    assert f.shape == (4, 3, 4)
+    assert f.shape == (3, 4, 4)
     assert np.isfinite(f).all()

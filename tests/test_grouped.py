@@ -4,6 +4,7 @@ to roundoff — it evaluates the same generated coefficients, reassociated."""
 import numpy as np
 import pytest
 
+from repro.engine.layout import phase_to_cell_major, phase_to_mode_major
 from repro.grid import Grid, PhaseGrid
 from repro.kernels import get_vlasov_kernels
 from repro.kernels.grouped import GroupedOperator
@@ -40,20 +41,23 @@ def test_grouped_matches_sparse(setup, which):
     out_sparse = np.zeros_like(f)
     ts.apply(f, aux, out_sparse)
     op = GroupedOperator(ts, pg.cdim, pg.vdim)
-    out_grouped = np.zeros_like(f)
-    op.apply(f, aux, out_grouped)
+    out_grouped = np.zeros(phase_to_cell_major(f, pg.cdim).shape)
+    op.apply(phase_to_cell_major(f, pg.cdim), aux, out_grouped)
     scale = max(np.max(np.abs(out_sparse)), 1.0)
-    assert np.max(np.abs(out_sparse - out_grouped)) / scale < 1e-13
+    assert np.max(
+        np.abs(out_sparse - phase_to_mode_major(out_grouped, pg.cdim))
+    ) / scale < 1e-13
 
 
 def test_grouped_accumulates(setup):
     pg, bundle, aux, f = setup
     op = GroupedOperator(bundle.vol_accel[0], pg.cdim, pg.vdim)
-    base = np.ones_like(f)
+    f_cm = phase_to_cell_major(f, pg.cdim)
+    base = np.ones_like(f_cm)
     out = base.copy()
-    op.apply(f, aux, out)
-    ref = np.zeros_like(f)
-    op.apply(f, aux, ref)
+    op.apply(f_cm, aux, out)
+    ref = np.zeros_like(f_cm)
+    op.apply(f_cm, aux, ref)
     assert np.allclose(out - base, ref, atol=1e-14)
 
 
@@ -66,9 +70,12 @@ def test_grouped_on_sliced_cells(setup):
     f_sub = np.ascontiguousarray(f[:, :, 1:, :])
     out_a = np.zeros_like(f_sub)
     ts.apply(f_sub, aux, out_a)
-    out_b = np.zeros_like(f_sub)
-    op.apply(f_sub, aux, out_b)
-    assert np.allclose(out_a, out_b, rtol=1e-13, atol=1e-13)
+    f_sub_cm = phase_to_cell_major(f_sub, pg.cdim)
+    out_b = np.zeros_like(f_sub_cm)
+    op.apply(f_sub_cm, aux, out_b)
+    assert np.allclose(
+        out_a, phase_to_mode_major(out_b, pg.cdim), rtol=1e-13, atol=1e-13
+    )
 
 
 def test_grouped_fallback_for_mixed_symbols():
@@ -81,15 +88,15 @@ def test_grouped_fallback_for_mixed_symbols():
     aux = {"mix": rng.standard_normal((3, 4))}
     out_a = np.zeros_like(f)
     ts.apply(f, aux, out_a)
-    out_b = np.zeros_like(f)
-    op.apply(f, aux, out_b)
-    assert np.allclose(out_a, out_b, atol=1e-14)
+    out_b = np.zeros((3, 2, 4))
+    op.apply(phase_to_cell_major(f, 1), aux, out_b)
+    assert np.allclose(out_a, phase_to_mode_major(out_b, 1), atol=1e-14)
 
 
 def test_grouped_empty_termset():
     ts = TermSet(3, 3, {})
     op = GroupedOperator(ts, 1, 1)
-    f = np.ones((3, 2, 2))
+    f = np.ones((2, 3, 2))  # cell-major (cfg, nb, vel)
     out = np.zeros_like(f)
     op.apply(f, {}, out)
     assert np.all(out == 0)

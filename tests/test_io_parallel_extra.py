@@ -13,7 +13,7 @@ def test_checkpoint_nested_keys(tmp_path):
     save_checkpoint(tmp_path / "x.npz", state, {"a": 1})
     back, meta = load_checkpoint(tmp_path / "x.npz")
     assert checkpoint_roundtrip_equal(state, back)
-    assert meta == {"a": 1}
+    assert meta == {"a": 1, "layout": "cell-major"}
 
 
 def test_checkpoint_keys_with_underscores_roundtrip(tmp_path):
@@ -57,7 +57,7 @@ def test_checkpoint_meta_types(tmp_path):
     meta = {"time": 1.5, "steps": 10, "name": "elc", "list": [1, 2]}
     save_checkpoint(tmp_path / "m.npz", {"a": np.zeros(2)}, meta)
     _, back = load_checkpoint(tmp_path / "m.npz")
-    assert back == meta
+    assert back == {**meta, "layout": "cell-major"}
 
 
 def test_velocity_slabs_cover():

@@ -1,0 +1,307 @@
+"""Cell-major layout invariants.
+
+The cell-major refactor is held to three contracts:
+
+1. **Exactness** — the cell-major engine reproduces the preserved
+   mode-major reference (``benchmarks/_legacy_rhs.py``) to <= 2e-15 over
+   randomized termsets and over full solver right-hand sides;
+2. **Copy-freedom** — the steady-state RHS performs no layout-normalizing
+   copy of full phase-space state (asserted via ``ScratchPool.copy_debug``);
+3. **Compatibility** — pre-refactor mode-major checkpoints (committed
+   fixture) resume transparently, checkpoints convert between layouts in
+   both directions element-exactly, and the sharded halo traffic still
+   matches the Fig. 3 model while moving contiguous slabs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from repro.engine import ScratchPool, StateLayout  # noqa: E402
+from repro.engine.layout import (  # noqa: E402
+    conf_to_cell_major,
+    conf_to_mode_major,
+    phase_to_cell_major,
+    phase_to_mode_major,
+)
+from repro.grid import Grid, PhaseGrid  # noqa: E402
+from repro.io.checkpoint import (  # noqa: E402
+    convert_checkpoint_layout,
+    load_checkpoint,
+    normalize_state_layout,
+)
+from repro.kernels.grouped import GroupedOperator  # noqa: E402
+from repro.kernels.termset import TermSet  # noqa: E402
+from repro.vlasov.modal_solver import VlasovModalSolver  # noqa: E402
+
+pytestmark = pytest.mark.layout
+
+DATA = Path(__file__).resolve().parent / "data"
+
+
+# --------------------------------------------------------------------- #
+# StateLayout basics
+# --------------------------------------------------------------------- #
+def test_state_layout_shapes_and_views():
+    pg = PhaseGrid(Grid([0.0, 0.0], [1.0, 1.0], [3, 2]), Grid([-1.0], [1.0], [5]))
+    lay = StateLayout.for_grid(pg, num_basis=7)
+    assert lay.shape == (3, 2, 7, 5)
+    assert lay.basis_axis == 2
+    assert lay.ncfg == 6 and lay.nvel == 5
+    assert lay.axis_of(0) == 0 and lay.axis_of(2) == 3
+    arr = lay.alloc()
+    assert arr.shape == lay.shape
+    v3 = lay.as3d(arr)
+    assert v3.shape == (6, 7, 5) and v3.base is arr
+    mv = lay.mode_view(arr)
+    assert mv.shape == (7, 3, 2, 5) and mv.base is arr  # a view, not a copy
+
+
+def test_layout_conversions_roundtrip():
+    rng = np.random.default_rng(3)
+    f = rng.standard_normal((7, 3, 2, 5))  # mode-major
+    f_cm = phase_to_cell_major(f, 2)
+    assert f_cm.shape == (3, 2, 7, 5) and f_cm.flags.c_contiguous
+    assert np.array_equal(phase_to_mode_major(f_cm, 2), f)
+    em = rng.standard_normal((8, 4, 3, 2))  # (comp, Npc, *cfg)
+    em_cm = conf_to_cell_major(em, 2, lead=2)
+    assert em_cm.shape == (3, 2, 8, 4)
+    assert np.array_equal(conf_to_mode_major(em_cm, 2, lead=2), em)
+
+
+# --------------------------------------------------------------------- #
+# 1. exactness vs the preserved mode-major reference
+# --------------------------------------------------------------------- #
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10**6), cdim=st.integers(1, 2), vdim=st.integers(1, 2))
+def test_cellmajor_matches_legacy_grouped_operator(seed, cdim, vdim):
+    """Randomized termsets: the cell-major plan path equals the seed's
+    mode-major grouped evaluator to <= 2e-15."""
+    from _legacy_rhs import LegacyGroupedOperator
+
+    rng = np.random.default_rng(seed)
+    # cfg sizes >= 2: a size-one cfg field classifies as a scalar, which the
+    # preserved seed evaluator float()s — a numpy-version artifact, not a
+    # layout behavior worth pinning
+    cfg_shape = tuple(rng.integers(2, 4, size=cdim))
+    vel_shape = tuple(rng.integers(2, 4, size=vdim))
+    nout = nin = int(rng.integers(3, 7))
+    kinds = ["scalar", "cfg", "vel"]
+    names_kinds = {
+        f"a{i}": kinds[rng.integers(0, 3)] for i in range(rng.integers(1, 5))
+    }
+    aux = {}
+    for n, k in names_kinds.items():
+        if k == "scalar":
+            aux[n] = float(rng.standard_normal())
+        elif k == "cfg":
+            aux[n] = rng.standard_normal(cfg_shape + (1,) * vdim)
+        else:
+            aux[n] = rng.standard_normal((1,) * cdim + vel_shape)
+    # unique (l, m) slots per symbol: generated kernels never duplicate a
+    # slot, and the seed evaluator densifies by assignment
+    slots = {}
+    for _ in range(int(rng.integers(1, 6))):
+        sym = tuple(rng.choice(list(names_kinds), size=rng.integers(0, 3)))
+        per_sym = slots.setdefault(sym, {})
+        for _ in range(int(rng.integers(1, 6))):
+            per_sym[(int(rng.integers(0, nout)), int(rng.integers(0, nin)))] = float(
+                rng.standard_normal()
+            )
+    entries = {
+        sym: [(l, m, c) for (l, m), c in per_sym.items()]
+        for sym, per_sym in slots.items()
+    }
+    ts = TermSet(nout, nin, entries)
+
+    f_mm = rng.standard_normal((nin,) + cfg_shape + vel_shape)
+    ref = np.zeros((nout,) + cfg_shape + vel_shape)
+    LegacyGroupedOperator(ts, cdim, vdim).apply(f_mm, aux, ref)
+
+    op = GroupedOperator(ts, cdim, vdim)
+    got = np.zeros(cfg_shape + (nout,) + vel_shape)
+    op.apply(phase_to_cell_major(f_mm, cdim), aux, got)
+    scale = max(float(np.max(np.abs(ref))), 1.0)
+    assert np.max(np.abs(phase_to_mode_major(got, cdim) - ref)) / scale <= 2e-15
+
+
+@pytest.mark.parametrize("cdim,vdim,p", [(1, 1, 2), (1, 2, 1), (2, 2, 1)])
+def test_cellmajor_rhs_matches_legacy_solver(cdim, vdim, p, rng):
+    """Full Vlasov RHS: cell-major engine vs the preserved seed driver."""
+    from _legacy_rhs import LegacyRhs
+
+    conf = Grid([0.0] * cdim, [1.0] * cdim, [3] * cdim)
+    vel = Grid([-2.0] * vdim, [2.0] * vdim, [4] * vdim)
+    pg = PhaseGrid(conf, vel)
+    solver = VlasovModalSolver(pg, p, "serendipity")
+    f_cm = rng.standard_normal(solver.layout.shape)
+    em_cm = rng.standard_normal(conf.cells + (8, solver.num_conf_basis))
+    got = phase_to_mode_major(solver.rhs(f_cm, em_cm), cdim)
+    ref = LegacyRhs(solver)(
+        phase_to_mode_major(f_cm, cdim), conf_to_mode_major(em_cm, cdim, lead=2)
+    )
+    scale = max(float(np.max(np.abs(ref))), 1.0)
+    assert np.max(np.abs(got - ref)) / scale <= 2e-15
+
+
+# --------------------------------------------------------------------- #
+# 2. no layout-normalizing copies in the steady-state RHS
+# --------------------------------------------------------------------- #
+def test_rhs_hot_path_is_copy_free(rng):
+    """With ``copy_debug`` armed on the solver pool, repeated steady-state
+    RHS evaluations must never stage a layout-normalizing copy of full
+    phase-space state (the acceptance assertion of the refactor)."""
+    pg = PhaseGrid(
+        Grid([0.0, 0.0], [1.0, 1.0], [3, 3]),
+        Grid([-2.0, -2.0], [2.0, 2.0], [4, 4]),
+    )
+    solver = VlasovModalSolver(pg, 1, "serendipity")
+    f = rng.standard_normal(solver.layout.shape)
+    em = rng.standard_normal(pg.conf.cells + (8, solver.num_conf_basis))
+    out = np.empty_like(f)
+    solver.rhs(f, em, out)  # compile plans
+    solver.pool.copy_debug = True
+    for _ in range(3):
+        solver.rhs(f, em, out)  # raises on any normalizing copy
+    assert solver.pool.layout_copies == 0
+
+
+def test_coupled_app_rhs_is_copy_free():
+    """The full coupled (multi-solver) RHS is copy-free too, through the
+    runtime-built app on a real scenario."""
+    from repro.runtime import build, build_app
+
+    app = build_app(build("weibel_2x2v", nx=4, nv=6, steps=1))
+    state = app.state()
+    out = {k: np.empty_like(v) for k, v in state.items()}
+    app.rhs(state, out=out)  # compile every plan
+    pools = [app.solvers[sp.name].pool for sp in app.species]
+    for pool in pools:
+        pool.copy_debug = True
+    for _ in range(2):
+        app.rhs(state, out=out)
+    assert all(pool.layout_copies == 0 for pool in pools)
+
+
+def test_scratch_pool_copy_audit():
+    pool = ScratchPool()
+    pool.record_layout_copy("x", (2, 2))
+    assert pool.layout_copies == 1
+    pool.copy_debug = True
+    with pytest.raises(RuntimeError, match="layout-normalizing"):
+        pool.record_layout_copy("x", (2, 2))
+
+
+# --------------------------------------------------------------------- #
+# 3. checkpoint compatibility across the layout change
+# --------------------------------------------------------------------- #
+def test_legacy_modemajor_checkpoint_loads_bit_identically():
+    """The committed pre-refactor checkpoint (no layout tag) converts to
+    cell-major element-exactly: every value survives the axis move."""
+    state, meta = load_checkpoint(DATA / "legacy_mode_major_checkpoint.npz")
+    assert "layout" not in meta  # genuinely pre-refactor
+    cdim = 2  # weibel_2x2v fixture
+    norm = normalize_state_layout(state, meta, cdim)
+    f_raw, em_raw = state["f/elc"], state["em"]
+    assert norm["f/elc"].shape == f_raw.shape[1:3] + (f_raw.shape[0],) + f_raw.shape[3:]
+    assert np.array_equal(norm["f/elc"], np.moveaxis(f_raw, 0, cdim))
+    assert np.array_equal(norm["em"], np.moveaxis(em_raw, (0, 1), (-2, -1)))
+
+
+def test_legacy_checkpoint_resumes_and_matches_prerefactor_run():
+    """``repro resume`` across the layout change: a driver rebuilt from the
+    mode-major fixture continues the run and reproduces the state the
+    pre-refactor code computed from the same checkpoint (same dt schedule;
+    tolerance covers the engine's roundoff-level reassociation)."""
+    from repro.runtime import Driver
+
+    drv = Driver.from_checkpoint(DATA / "legacy_mode_major_checkpoint.npz")
+    for _ in range(2):
+        drv.app.step(drv.app.suggested_dt() * 0.5)
+    ref = np.load(DATA / "legacy_mode_major_reference.npz")
+    assert drv.app.time == pytest.approx(float(ref["time"]), rel=1e-13)
+    cdim = drv.app.conf_grid.ndim
+    got_f = drv.app.f["elc"]
+    ref_f = phase_to_cell_major(ref["f__elc"], cdim)
+    scale = float(np.max(np.abs(ref_f)))
+    assert np.max(np.abs(got_f - ref_f)) / scale < 1e-12
+    ref_em = conf_to_cell_major(ref["em"], cdim, lead=2)
+    em_scale = max(float(np.max(np.abs(ref_em))), 1e-30)
+    assert np.max(np.abs(drv.app.em - ref_em)) / em_scale < 1e-10
+
+
+def test_checkpoint_layout_conversion_roundtrips(tmp_path):
+    """New checkpoints convert to mode-major (for pre-refactor tooling) and
+    back, bit-identically — resume works across the layout change in both
+    directions."""
+    from repro.runtime import Driver, build
+
+    drv = Driver(build("two_stream", nx=4, nv=8, steps=2), outdir=tmp_path / "run")
+    drv.run()
+    src = tmp_path / "run" / "checkpoint.npz"
+    state0, meta0 = load_checkpoint(src)
+    assert meta0["layout"] == "cell-major"
+
+    mm_path = tmp_path / "mm.npz"
+    convert_checkpoint_layout(src, mm_path, cdim=1, to="mode-major")
+    state_mm, meta_mm = load_checkpoint(mm_path)
+    assert meta_mm["layout"] == "mode-major"
+    assert state_mm["f/elc"].shape[0] != state0["f/elc"].shape[0]  # axes moved
+
+    back_path = tmp_path / "back.npz"
+    convert_checkpoint_layout(mm_path, back_path, cdim=1, to="cell-major")
+    state_back, meta_back = load_checkpoint(back_path)
+    assert meta_back["layout"] == "cell-major"
+    for key in state0:
+        assert np.array_equal(state_back[key], state0[key]), key
+
+    # a mode-major file resumes through the Driver exactly like the original
+    drv_mm = Driver.from_checkpoint(mm_path)
+    drv_orig = Driver.from_checkpoint(src)
+    for key, val in drv_orig.app.state().items():
+        assert np.array_equal(drv_mm.app.state()[key], val), key
+
+
+# --------------------------------------------------------------------- #
+# 3b. sharded halos: contiguous slabs, Fig. 3 traffic unchanged
+# --------------------------------------------------------------------- #
+@pytest.mark.shard
+def test_sharded_cellmajor_halo_bytes_match_fig3_model():
+    """Cell-major halo slabs are contiguous memory spans AND the measured
+    traffic still equals the Fig. 3 model (the layout moves the same
+    doubles, just without strided gathers)."""
+    from repro.dist import ShardPlan
+    from repro.runtime import build
+    from repro.runtime.driver import build_app
+
+    spec = build(
+        "two_stream", nx=12, nv=8, poly_order=1, steps=2,
+        **{"backend": "process:3"},
+    )
+    app = build_app(spec)
+    try:
+        # the shard's slab of the shared cell-major state is contiguous
+        plan = app.plan
+        shared_f = app.f[app.species[0].name]
+        lo, hi = plan.ranges(1)[0]
+        assert shared_f[lo:hi].flags.c_contiguous
+        ghost = shared_f[(lo - 1) % shared_f.shape[0]]
+        assert ghost.flags.c_contiguous  # each ghost slab is one memcpy span
+        drv_steps = spec.steps
+        for _ in range(drv_steps):
+            app.step()
+        halo = app.halo_stats
+        npb = app.solvers[app.species[0].name].num_basis
+        model = plan.model_halo_doubles(npb, (8,))
+        stages = 3  # SSP-RK3
+        assert halo["f"]["doubles"] == model * stages * drv_steps
+    finally:
+        app.close()

@@ -40,7 +40,7 @@ def test_plane_wave_propagation(grid_basis):
         }
     )
     q1 = _advance(solver, q0.copy(), 1.0)  # one full period (c=1, L=1)
-    err = np.max(np.abs(q1[1] - q0[1])) / np.max(np.abs(q0[1]))
+    err = np.max(np.abs(q1[..., 1, :] - q0[..., 1, :])) / np.max(np.abs(q0[..., 1, :]))
     assert err < 2e-3
 
 
@@ -64,30 +64,33 @@ def test_rhs_energy_rate_zero_central(grid_basis, rng):
     """Semi-discrete central-flux energy rate vanishes identically."""
     grid, basis = grid_basis
     solver = MaxwellSolver(grid, basis, flux="central")
-    q = rng.standard_normal((8, basis.num_basis) + grid.cells)
-    q[6:] = 0.0
+    q = rng.standard_normal(grid.cells + (8, basis.num_basis))
+    q[..., 6:, :] = 0.0
     dq = solver.rhs(q)
     jac = 0.5 * grid.dx[0]
-    rate = float(np.sum(q[0:3] * dq[0:3]) + np.sum(q[3:6] * dq[3:6])) * jac
+    rate = float(
+        np.sum(q[..., 0:3, :] * dq[..., 0:3, :])
+        + np.sum(q[..., 3:6, :] * dq[..., 3:6, :])
+    ) * jac
     assert abs(rate) < 1e-12 * float(np.sum(q ** 2))
 
 
 def test_current_source_term(grid_basis, rng):
     grid, basis = grid_basis
     solver = MaxwellSolver(grid, basis)
-    q = np.zeros((8, basis.num_basis) + grid.cells)
-    j = rng.standard_normal((3, basis.num_basis) + grid.cells)
+    q = np.zeros(grid.cells + (8, basis.num_basis))
+    j = rng.standard_normal(grid.cells + (3, basis.num_basis))
     dq = solver.rhs(q, current=j)
-    assert np.allclose(dq[0:3], -j, atol=1e-14)
-    assert np.allclose(dq[3:6], 0.0, atol=1e-14)
+    assert np.allclose(dq[..., 0:3, :], -j, atol=1e-14)
+    assert np.allclose(dq[..., 3:6, :], 0.0, atol=1e-14)
 
 
 def test_uniform_fields_are_steady(grid_basis):
     grid, basis = grid_basis
     solver = MaxwellSolver(grid, basis, flux="central")
-    q = np.zeros((8, basis.num_basis) + grid.cells)
-    q[0, 0] = 1.3  # uniform Ex
-    q[5, 0] = -0.4  # uniform Bz
+    q = np.zeros(grid.cells + (8, basis.num_basis))
+    q[..., 0, 0] = 1.3  # uniform Ex
+    q[..., 5, 0] = -0.4  # uniform Bz
     dq = solver.rhs(q)
     assert np.max(np.abs(dq)) < 1e-14
 
@@ -97,14 +100,14 @@ def test_cleaning_speeds_enter_flux():
     basis = ModalBasis(1, 1, "serendipity")
     solver = MaxwellSolver(grid, basis, chi_e=1.0, chi_m=1.0)
     rng = np.random.default_rng(2)
-    q = rng.standard_normal((8, basis.num_basis) + grid.cells)
+    q = rng.standard_normal(grid.cells + (8, basis.num_basis))
     dq = solver.rhs(q)
     # phi/psi must evolve when cleaning is on
-    assert np.max(np.abs(dq[6])) > 0
-    assert np.max(np.abs(dq[7])) > 0
+    assert np.max(np.abs(dq[..., 6, :])) > 0
+    assert np.max(np.abs(dq[..., 7, :])) > 0
     solver0 = MaxwellSolver(grid, basis)
     dq0 = solver0.rhs(q)
-    assert np.max(np.abs(dq0[6])) == 0
+    assert np.max(np.abs(dq0[..., 6, :])) == 0
 
 
 def test_2d_maxwell_runs():

@@ -12,6 +12,10 @@ from repro.moments import MomentCalculator, integrate_conf_field
 from repro.projection import project_phase_function
 
 
+def _cm_shape(num_basis, pg):
+    return pg.conf.cells + (num_basis,) + pg.vel.cells
+
+
 @pytest.fixture(scope="module")
 def setup_1x1v():
     pg = PhaseGrid(Grid([0.0], [1.0], [4]), Grid([-8.0], [8.0], [32]))
@@ -63,7 +67,7 @@ def test_moment_linearity(a, b):
     kern = get_vlasov_kernels(1, 1, 1, "serendipity")
     mom = MomentCalculator(pg, kern)
     rng = np.random.default_rng(5)
-    f = rng.standard_normal((kern.num_basis,) + pg.cells)
+    f = rng.standard_normal(_cm_shape(kern.num_basis, pg))
     g = rng.standard_normal(f.shape)
     for name in ("M0", "M1x", "M2"):
         lhs = mom.compute(name, a * f + b * g)
@@ -76,24 +80,24 @@ def test_current_density_components():
     kern = get_vlasov_kernels(1, 2, 1, "serendipity")
     mom = MomentCalculator(pg, kern)
     rng = np.random.default_rng(6)
-    f = rng.standard_normal((kern.num_basis,) + pg.cells)
+    f = rng.standard_normal(_cm_shape(kern.num_basis, pg))
     j = mom.current_density(f, charge=-2.0)
-    assert j.shape[0] == 3
-    assert np.allclose(j[0], -2.0 * mom.compute("M1x", f))
-    assert np.allclose(j[1], -2.0 * mom.compute("M1y", f))
-    assert np.all(j[2] == 0)  # no vz in 2V
+    assert j.shape == pg.conf.cells + (3, kern.cfg_basis.num_basis)
+    assert np.allclose(j[..., 0, :], -2.0 * mom.compute("M1x", f))
+    assert np.allclose(j[..., 1, :], -2.0 * mom.compute("M1y", f))
+    assert np.all(j[..., 2, :] == 0)  # no vz in 2V
 
 
 def test_unknown_moment_raises(setup_1x1v):
     _, _, mom, _ = setup_1x1v
     with pytest.raises(KeyError):
-        mom.compute("M3", np.zeros((8, 4, 32)))
+        mom.compute("M3", np.zeros((4, 8, 32)))
 
 
 def test_2x2v_moments_shape():
     pg = PhaseGrid(Grid([0, 0], [1, 1], [3, 2]), Grid([-2, -2], [2, 2], [4, 4]))
     kern = get_vlasov_kernels(2, 2, 1, "serendipity")
     mom = MomentCalculator(pg, kern)
-    f = np.ones((kern.num_basis,) + pg.cells)
+    f = np.ones(_cm_shape(kern.num_basis, pg))
     m0 = mom.compute("M0", f)
-    assert m0.shape == (kern.cfg_basis.num_basis, 3, 2)
+    assert m0.shape == (3, 2, kern.cfg_basis.num_basis)

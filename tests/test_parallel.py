@@ -103,8 +103,8 @@ def test_decomposed_rhs_matches_serial(nodes, cores, rng):
     vel = Grid([-2.0, -2.0], [2.0, 2.0], [4, 6])
     pg = PhaseGrid(conf, vel)
     solver = VlasovModalSolver(pg, 1, "serendipity")
-    f = rng.standard_normal((solver.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (solver.num_basis,) + vel.cells)
+    em = rng.standard_normal(conf.cells + (8, solver.num_conf_basis))
     serial = solver.rhs(f, em)
     runner = DecomposedVlasovRunner(solver, nodes, cores)
     dist = runner.rhs(f, em)
@@ -117,8 +117,8 @@ def test_decomposed_2x_config(rng):
     vel = Grid([-2.0, -2.0], [2.0, 2.0], [4, 4])
     pg = PhaseGrid(conf, vel)
     solver = VlasovModalSolver(pg, 1, "serendipity")
-    f = rng.standard_normal((solver.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (solver.num_basis,) + vel.cells)
+    em = rng.standard_normal(conf.cells + (8, solver.num_conf_basis))
     serial = solver.rhs(f, em)
     runner = DecomposedVlasovRunner(solver, 4, 2)
     dist = runner.rhs(f, em)
@@ -133,8 +133,8 @@ def test_halo_bytes_match_decomposition_accounting(rng):
     vel = Grid([-2.0], [2.0], [4])
     pg = PhaseGrid(conf, vel)
     solver = VlasovModalSolver(pg, 1, "serendipity")
-    f = rng.standard_normal((solver.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, solver.num_conf_basis) + conf.cells)
+    f = rng.standard_normal(conf.cells + (solver.num_basis,) + vel.cells)
+    em = rng.standard_normal(conf.cells + (8, solver.num_conf_basis))
     runner = DecomposedVlasovRunner(solver, 3, 1)
     runner.rhs(f, em)
     expected = runner.decomp.halo_doubles_per_step(solver.num_basis)

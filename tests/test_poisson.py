@@ -6,7 +6,7 @@ import pytest
 from repro.basis.modal import ModalBasis
 from repro.fields.poisson import Poisson1D
 from repro.grid import Grid
-from repro.projection import project_on_grid
+from repro.projection import project_conf_function
 
 
 @pytest.fixture(scope="module")
@@ -19,9 +19,9 @@ def setup():
 def test_manufactured_solution(setup):
     """rho = cos(x)  =>  E = sin(x) (zero mean, dE/dx = rho)."""
     grid, basis, poisson = setup
-    rho = project_on_grid(lambda x: np.cos(x), grid, basis)
+    rho = project_conf_function(lambda x: np.cos(x), grid, basis)
     e = poisson.solve(rho)
-    e_exact = project_on_grid(lambda x: np.sin(x), grid, basis)
+    e_exact = project_conf_function(lambda x: np.sin(x), grid, basis)
     assert np.max(np.abs(e - e_exact)) < 1e-4  # p=2 projection accuracy
 
 
@@ -29,9 +29,9 @@ def test_polynomial_charge_exact(setup):
     """Piecewise-polynomial rho within the basis: E is exact up to degree."""
     grid, basis, poisson = setup
     # rho = sin(x) has zero net charge; E = -cos(x)+mean-free
-    rho = project_on_grid(lambda x: np.sin(x), grid, basis)
+    rho = project_conf_function(lambda x: np.sin(x), grid, basis)
     e = poisson.solve(rho)
-    e_exact = project_on_grid(lambda x: -np.cos(x), grid, basis)
+    e_exact = project_conf_function(lambda x: -np.cos(x), grid, basis)
     assert np.max(np.abs(e - e_exact)) < 1e-4
 
 
@@ -39,24 +39,24 @@ def test_gauss_law_discretely(setup):
     """Cell-integrated dE/dx equals cell charge: edge values of the solve."""
     grid, basis, poisson = setup
     rng = np.random.default_rng(3)
-    rho = rng.standard_normal((basis.num_basis, grid.cells[0]))
-    rho[0] -= rho[0].mean()  # neutralize
+    rho = rng.standard_normal((grid.cells[0], basis.num_basis))
+    rho[..., 0] -= rho[..., 0].mean()  # neutralize
     e = poisson.solve(rho)
     # domain mean must vanish
-    assert abs(e[0].sum()) < 1e-10
+    assert abs(e[..., 0].sum()) < 1e-10
 
 
 def test_non_neutral_raises(setup):
     grid, basis, poisson = setup
-    rho = np.zeros((basis.num_basis, grid.cells[0]))
-    rho[0] = 1.0
+    rho = np.zeros((grid.cells[0], basis.num_basis))
+    rho[..., 0] = 1.0
     with pytest.raises(ValueError, match="neutral"):
         poisson.solve(rho)
 
 
 def test_epsilon0_scaling(setup):
     grid, basis, _ = setup
-    rho = project_on_grid(lambda x: np.cos(x), grid, basis)
+    rho = project_conf_function(lambda x: np.cos(x), grid, basis)
     e1 = Poisson1D(grid, basis, epsilon0=1.0).solve(rho)
     e2 = Poisson1D(grid, basis, epsilon0=2.0).solve(rho)
     assert np.allclose(e1, 2.0 * e2, atol=1e-12)

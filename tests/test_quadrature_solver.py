@@ -12,8 +12,8 @@ from repro.vlasov import VlasovQuadratureSolver
 def setup(rng):
     pg = PhaseGrid(Grid([0.0], [1.0], [3]), Grid([-2.0], [2.0], [4]))
     qs = VlasovQuadratureSolver(pg, 2, "serendipity")
-    f = rng.standard_normal((qs.num_basis,) + pg.cells)
-    em = rng.standard_normal((8, qs.num_conf_basis) + pg.conf.cells)
+    f = rng.standard_normal(pg.conf.cells + (qs.num_basis,) + pg.vel.cells)
+    em = rng.standard_normal(pg.conf.cells + (8, qs.num_conf_basis))
     return pg, qs, f, em
 
 
