@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Composing and registering kinetic systems through ``repro.systems``.
+
+The System API makes a new workload a *declaration*, not a new app class.
+This example does both things the API is for:
+
+1. **Compose** a System directly from blocks: two tracer populations
+   (a cold drifting beam and a warm background) streaming through a
+   field-free domain — a two-species phase-mixing race.
+2. **Register** a brand-new system kind (``driven_tracers``: field-free
+   advection plus a prescribed oscillating drive) and run it through the
+   exact same declarative spec -> Driver pipeline the built-in scenarios
+   use.  No core file changes; the registry *is* the extension point.
+
+Run:  python examples/custom_system.py
+"""
+
+import numpy as np
+
+from repro.diagnostics import EnergyHistory
+from repro.grid import Grid
+from repro.runtime import Driver, SimulationSpec
+from repro.systems import (
+    NullFieldBlock,
+    Species,
+    System,
+    register_system,
+)
+
+
+def compose_directly():
+    """Part 1: a System assembled by hand from blocks."""
+    k = 1.0
+
+    def beam(x, v):
+        return (1 + 0.2 * np.cos(k * x)) * np.exp(-((v - 2.0) ** 2) / 0.08) / np.sqrt(
+            0.08 * np.pi
+        )
+
+    def background(x, v):
+        return (1 + 0.2 * np.cos(k * x)) * np.exp(-(v**2) / 2) / np.sqrt(2 * np.pi)
+
+    system = System(
+        conf_grid=Grid([0.0], [2 * np.pi / k], [16]),
+        species=[
+            Species("beam", 0.0, 1.0, Grid([-1.0], [5.0], [24]), beam),
+            Species("bg", 0.0, 1.0, Grid([-6.0], [6.0], [24]), background),
+        ],
+        field=NullFieldBlock(),
+        poly_order=2,
+        name="tracer_race",
+    )
+    hist = EnergyHistory()
+    summary = system.run(4.0, diagnostics=hist)
+    print(f"composed system: {system}")
+    print(
+        f"  {summary['steps']} steps to t={summary['time']:.2f}, "
+        f"{1e3 * summary['wall_per_step']:.2f} ms/step"
+    )
+    for name in ("beam", "bg"):
+        print(
+            f"  {name:>4}: N = {system.particle_number(name):.12f} "
+            f"(conserved), W = {system.particle_energy(name):.6f}"
+        )
+    drift = hist.relative_drift()
+    print(f"  total-energy drift: {drift:.2e} (streaming conserves exactly)")
+
+
+# ----------------------------------------------------------------------- #
+# Part 2: register a new system kind and drive it declaratively
+# ----------------------------------------------------------------------- #
+@register_system(
+    "driven_tracers",
+    description="field-free tracers under a prescribed oscillating E-drive",
+)
+def build_driven_tracers(spec: SimulationSpec) -> System:
+    """Tracer advection plus whatever external drive the spec declares."""
+    from repro.systems import build_external_field, build_species_blocks
+
+    conf_grid = spec.conf_grid.build()
+    return System(
+        conf_grid,
+        build_species_blocks(spec, conf_grid),
+        field=NullFieldBlock(),
+        poly_order=spec.poly_order,
+        cfl=spec.cfl,
+        stepper=spec.stepper,
+        backend=spec.backend,
+        external=build_external_field(spec),
+        name="driven_tracers",
+    )
+
+
+def run_registered():
+    spec = SimulationSpec.from_dict(
+        {
+            "name": "driven_tracers_demo",
+            "model": "driven_tracers",  # <- the name registered above
+            "conf_grid": {"lower": [0.0], "upper": [6.283185307179586], "cells": [12]},
+            "species": [
+                {
+                    "name": "ions",
+                    "charge": 1.0,
+                    "mass": 1.0,
+                    "velocity_grid": {"lower": [-6.0], "upper": [6.0], "cells": [16]},
+                    "initial": {"kind": "maxwellian", "vt": 1.0},
+                }
+            ],
+            "external_field": {
+                "components": {"Ex": {"kind": "sine", "amp": 0.05, "k": 1.0}},
+                "omega": 1.2,
+                "ramp": 1.0,
+            },
+            "t_end": 3.0,
+            "steps": 40,
+        }
+    )
+    driver = Driver(spec)
+    summary = driver.run()
+    print(f"registered system {spec.model!r} via the declarative pipeline:")
+    print(
+        f"  status={summary['status']} steps={summary['steps']} "
+        f"t={summary['time']:.2f}"
+    )
+    print(
+        f"  drive pumped the tracers: W = "
+        f"{summary['total_energy']:.6f} (t=0: "
+        f"{driver.history.total[0]:.6f})"
+    )
+
+
+if __name__ == "__main__":
+    compose_directly()
+    print()
+    run_registered()

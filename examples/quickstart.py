@@ -5,9 +5,10 @@ The "hello world" of continuum kinetics: a small density perturbation on a
 Maxwellian electron plasma launches a Langmuir oscillation whose electric
 field is collisionlessly damped by resonant particles.  The setup comes
 from the declarative scenario registry (the same one ``python -m repro run
-landau_damping`` uses); the run uses the paper's alias-free modal DG
-algorithm end to end and compares the measured damping rate with the root
-of the kinetic dispersion relation.
+landau_damping`` uses) and compiles to a composable
+:class:`repro.systems.System` — species blocks + a Maxwell field closure —
+running the paper's alias-free modal DG algorithm end to end; the measured
+damping rate is compared with the root of the kinetic dispersion relation.
 
 Run:  python examples/quickstart.py
 """
@@ -23,8 +24,9 @@ def main():
     k = 0.5
     spec = build("landau_damping", k=k, t_end=20.0)
     driver = Driver(spec)
-    app = driver.app
+    app = driver.app  # a repro.systems.System (model="maxwell")
 
+    print(f"system: {app}")
     print(f"phase-space DOF: {app.f['elc'].size:,} "
           f"({app.solvers['elc'].num_basis} per cell)")
     summary = driver.run()

@@ -8,25 +8,27 @@ matrix-free, and quadrature-free discontinuous Galerkin algorithms for
 Quickstart::
 
     import numpy as np
-    from repro import Grid, Species, FieldSpec, VlasovMaxwellApp
+    from repro import Grid, Species, FieldSpec
+    from repro.systems import System, MaxwellBlock
 
     k = 0.5
     elc = Species("elc", charge=-1.0, mass=1.0,
                   velocity_grid=Grid([-6.0], [6.0], [16]),
                   initial=lambda x, v: (1 + 0.01*np.cos(k*x))
                       * np.exp(-v**2/2) / np.sqrt(2*np.pi))
-    app = VlasovMaxwellApp(
+    system = System(
         conf_grid=Grid([0.0], [2*np.pi/k], [16]),
         species=[elc],
-        field=FieldSpec(initial={"Ex": lambda x: -0.01/k*np.sin(k*x)}),
+        field=MaxwellBlock(FieldSpec(
+            initial={"Ex": lambda x: -0.01/k*np.sin(k*x)})),
         poly_order=2)
-    app.run(10.0)
+    system.run(10.0)
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from .apps.vlasov_maxwell import ExternalField, FieldSpec, Species, VlasovMaxwellApp
+from .apps.vlasov_maxwell import VlasovMaxwellApp
 from .apps.vlasov_poisson import VlasovPoissonApp
 from .basis.modal import ModalBasis
 from .basis.multiindex import FAMILIES, num_basis
@@ -42,6 +44,18 @@ from .kernels.registry import get_vlasov_kernels
 from .moments.calc import MomentCalculator, integrate_conf_field
 from .projection import project_on_grid, project_phase_function
 from .runtime import CampaignSpec, Driver, SimulationSpec
+from .systems import (
+    ExternalField,
+    FieldSpec,
+    MaxwellBlock,
+    Model,
+    NullFieldBlock,
+    PoissonBlock,
+    Species,
+    System,
+    build_system,
+    register_system,
+)
 from .vlasov.modal_solver import VlasovModalSolver
 from .vlasov.quadrature_solver import VlasovQuadratureSolver
 
@@ -64,6 +78,13 @@ __all__ = [
     "Species",
     "FieldSpec",
     "ExternalField",
+    "Model",
+    "System",
+    "MaxwellBlock",
+    "PoissonBlock",
+    "NullFieldBlock",
+    "register_system",
+    "build_system",
     "VlasovMaxwellApp",
     "VlasovPoissonApp",
     "EnergyHistory",

@@ -1,4 +1,10 @@
-"""High-level simulation "Apps" (the Gkeyll App-system analogue)."""
+"""Deprecated high-level "Apps" — thin shims over :mod:`repro.systems`.
+
+The Gkeyll App-system analogue now lives in :mod:`repro.systems`: compose a
+:class:`~repro.systems.system.System` from species blocks and a field
+closure instead of instantiating these classes.  The shims stay importable
+(and bit-identical in behavior) but emit :class:`DeprecationWarning`.
+"""
 
 from .vlasov_maxwell import FieldSpec, Species, VlasovMaxwellApp
 

@@ -1,131 +1,37 @@
-"""The Vlasov–Maxwell "App": Gkeyll-style composition of solvers.
+"""Deprecated: the hand-rolled Vlasov–Maxwell "App".
 
-A :class:`VlasovMaxwellApp` wires together, for an arbitrary number of
-species, the modal (or baseline quadrature) Vlasov solver, the Maxwell
-solver, the moment/current coupling, optional collision operators, and an
-SSP-RK stepper — the same role Gkeyll's LuaJIT App system plays on top of
-its generated C++ kernels.
+The app classes were replaced by the composable :mod:`repro.systems` API:
+a :class:`~repro.systems.system.System` assembled from
+:class:`~repro.systems.blocks.KineticSpecies` blocks and a
+:class:`~repro.systems.blocks.MaxwellBlock` field closure.
+:class:`VlasovMaxwellApp` survives as a thin shim that builds exactly that
+system (bit-identical results) while emitting a :class:`DeprecationWarning`.
+
+The ``Species`` / ``FieldSpec`` / ``ExternalField`` declarations now live
+in :mod:`repro.systems.blocks` and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import math
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence
+import warnings
+from typing import Optional, Sequence
 
-import numpy as np
-
-from ..basis.modal import ModalBasis
-from ..fields.maxwell import MaxwellSolver
 from ..grid.cartesian import Grid
-from ..grid.phase import PhaseGrid
-from ..moments.calc import MomentCalculator
-from ..projection import project_phase_function
-from ..timestepping.ssprk import get_stepper
-from ..vlasov.modal_solver import VlasovModalSolver
-from ..vlasov.quadrature_solver import VlasovQuadratureSolver
+from ..systems.blocks import ExternalField, FieldSpec, MaxwellBlock, Species
+from ..systems.system import System
 
 __all__ = ["Species", "FieldSpec", "ExternalField", "VlasovMaxwellApp"]
 
 
-@dataclass
-class Species:
-    """One kinetic species.
+class VlasovMaxwellApp(System):
+    """Deprecated alias for a Maxwell-closed :class:`repro.systems.System`.
 
-    Parameters
-    ----------
-    name:
-        Unique identifier.
-    charge, mass:
-        Normalized charge and mass.
-    velocity_grid:
-        Velocity-space grid (should not straddle v=0 within a cell).
-    initial:
-        Vectorized callable ``f0(x..., v...)`` for the initial condition.
-    collisions:
-        Optional collision operator with an
-        ``rhs(f, moments, out) -> out`` interface (see
-        :mod:`repro.collisions`).
-    """
+    Compose the system directly instead::
 
-    name: str
-    charge: float
-    mass: float
-    velocity_grid: Grid
-    initial: Callable[..., np.ndarray]
-    collisions: Optional[object] = None
+        from repro.systems import System, MaxwellBlock
 
-
-@dataclass
-class FieldSpec:
-    """Electromagnetic field configuration.
-
-    ``initial`` maps component names (``Ex`` ... ``psi``) to callables of the
-    configuration coordinates; omitted components start at zero.  Set
-    ``evolve=False`` for a static external field.
-    """
-
-    initial: Dict[str, Callable[..., np.ndarray]] = field(default_factory=dict)
-    light_speed: float = 1.0
-    epsilon0: float = 1.0
-    flux: str = "central"
-    chi_e: float = 0.0
-    chi_m: float = 0.0
-    evolve: bool = True
-
-
-@dataclass
-class ExternalField:
-    """Prescribed, time-dependent external EM drive.
-
-    The drive is separable: a static spatial profile per component
-    (callables of the configuration coordinates, projected once at app
-    construction) times the scalar envelope
-
-    .. math:: g(t) = \\cos(\\omega t + \\varphi) \\cdot \\min(t/t_{ramp}, 1)
-
-    (the ramp factor applies only when ``ramp > 0``).  The drive
-    accelerates particles — it is added to the self-consistent field seen
-    by the Vlasov solvers and by the CFL estimate — but it is *not*
-    evolved and does not enter the Maxwell update or the field-energy
-    diagnostics.  Within a time step the envelope is frozen at the step's
-    start time (all RK stages see the same drive), keeping the stepper's
-    stage structure field-agnostic.
-    """
-
-    profiles: Dict[str, Callable[..., np.ndarray]]
-    omega: float = 0.0
-    phase: float = 0.0
-    ramp: float = 0.0
-
-    def envelope(self, t: float) -> float:
-        g = math.cos(self.omega * t + self.phase)
-        if self.ramp > 0.0:
-            g *= min(t / self.ramp, 1.0)
-        return g
-
-
-class VlasovMaxwellApp:
-    """Multi-species Vlasov–Maxwell simulation driver.
-
-    Parameters
-    ----------
-    conf_grid:
-        Configuration-space grid (periodic).
-    species:
-        Kinetic species list.
-    field:
-        EM field specification (or ``None`` for free streaming).
-    poly_order, family:
-        DG basis selection.
-    cfl:
-        CFL number (fraction of the stability limit).
-    scheme:
-        ``"modal"`` (the paper's algorithm) or ``"quadrature"``
-        (the alias-free nodal-style baseline of Table I).
-    stepper:
-        ``"ssp-rk3"`` (default), ``"ssp-rk2"`` or ``"forward-euler"``.
+        system = System(conf_grid, species, field=MaxwellBlock(field_spec),
+                        poly_order=2)
     """
 
     def __init__(
@@ -143,248 +49,25 @@ class VlasovMaxwellApp:
         backend: str = "numpy",
         external: Optional[ExternalField] = None,
     ):
-        if scheme not in ("modal", "quadrature"):
-            raise ValueError("scheme must be 'modal' or 'quadrature'")
-        if not species:
-            raise ValueError("need at least one species")
-        names = [s.name for s in species]
-        if len(set(names)) != len(names):
-            raise ValueError("species names must be unique")
-        self.conf_grid = conf_grid
-        self.species = list(species)
-        self.field_spec = field or FieldSpec(evolve=False)
-        self.poly_order = int(poly_order)
-        self.family = family
-        self.cfl = float(cfl)
-        self.scheme = scheme
-        self.backend = backend
-        self.stepper = get_stepper(stepper)
-        self.time = 0.0
-        self.step_count = 0
-
-        self.phase_grids: Dict[str, PhaseGrid] = {}
-        self.solvers: Dict[str, object] = {}
-        self.moments: Dict[str, MomentCalculator] = {}
-        self.f: Dict[str, np.ndarray] = {}
-
-        cdim = conf_grid.ndim
-        self.cfg_basis = ModalBasis(cdim, poly_order, family)
-        self.maxwell = MaxwellSolver(
+        warnings.warn(
+            "VlasovMaxwellApp is deprecated; compose a repro.systems.System "
+            "with a MaxwellBlock field closure instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        System.__init__(
+            self,
             conf_grid,
-            self.cfg_basis,
-            light_speed=self.field_spec.light_speed,
-            epsilon0=self.field_spec.epsilon0,
-            flux=self.field_spec.flux,
-            chi_e=self.field_spec.chi_e,
-            chi_m=self.field_spec.chi_m,
+            species,
+            field=MaxwellBlock(field or FieldSpec(evolve=False)),
+            poly_order=poly_order,
+            family=family,
+            cfl=cfl,
+            scheme=scheme,
+            stepper=stepper,
+            velocity_flux=velocity_flux,
+            ic_quad_order=ic_quad_order,
+            backend=backend,
+            external=external,
+            name="maxwell",
         )
-
-        for sp in self.species:
-            pg = PhaseGrid(conf_grid, sp.velocity_grid)
-            self.phase_grids[sp.name] = pg
-            if scheme == "modal":
-                solver = VlasovModalSolver(
-                    pg, poly_order, family, sp.charge, sp.mass, velocity_flux,
-                    backend=backend,
-                )
-                kernels = solver.kernels
-            else:
-                solver = VlasovQuadratureSolver(
-                    pg, poly_order, family, sp.charge, sp.mass, backend=backend
-                )
-                from ..kernels.registry import get_vlasov_kernels
-
-                kernels = get_vlasov_kernels(pg.cdim, pg.vdim, poly_order, family)
-            self.solvers[sp.name] = solver
-            self.moments[sp.name] = MomentCalculator(
-                pg, kernels, pool=getattr(solver, "pool", None)
-            )
-            basis = ModalBasis(pg.pdim, poly_order, family)
-            self.f[sp.name] = project_phase_function(
-                sp.initial, pg, basis, ic_quad_order
-            )
-
-        self.em = self.maxwell.project_initial_condition(self.field_spec.initial)
-        self.external = external
-        self._ext_coeffs: Optional[np.ndarray] = None
-        self._ext_buf: Optional[np.ndarray] = None
-        if external is not None:
-            self._ext_coeffs = self.maxwell.project_initial_condition(
-                external.profiles
-            )
-            self._ext_buf = np.empty_like(self._ext_coeffs)
-        # persistent coupling buffers (allocated on first RHS)
-        self._species_current: Optional[np.ndarray] = None
-        self._total_current: Optional[np.ndarray] = None
-
-    # ------------------------------------------------------------------ #
-    # state plumbing
-    # ------------------------------------------------------------------ #
-    def state(self) -> Dict[str, np.ndarray]:
-        out = {f"f/{sp.name}": self.f[sp.name] for sp in self.species}
-        out["em"] = self.em
-        return out
-
-    def set_state(self, state: Dict[str, np.ndarray]) -> None:
-        for sp in self.species:
-            self.f[sp.name] = state[f"f/{sp.name}"]
-        self.em = state["em"]
-
-    def total_current(
-        self, state: Dict[str, np.ndarray], out: Optional[np.ndarray] = None
-    ) -> np.ndarray:
-        shape = self.conf_grid.cells + (3, self.cfg_basis.num_basis)
-        if out is None:
-            out = np.zeros(shape)
-        else:
-            out.fill(0.0)
-        if self._species_current is None:
-            self._species_current = np.empty(shape)
-        for sp in self.species:
-            out += self.moments[sp.name].current_density(
-                state[f"f/{sp.name}"], sp.charge, out=self._species_current
-            )
-        return out
-
-    def total_charge_density(self, state: Dict[str, np.ndarray]) -> np.ndarray:
-        rho = np.zeros(self.conf_grid.cells + (self.cfg_basis.num_basis,))
-        for sp in self.species:
-            rho += self.moments[sp.name].charge_density(
-                state[f"f/{sp.name}"], sp.charge
-            )
-        return rho
-
-    def rhs(
-        self,
-        state: Dict[str, np.ndarray],
-        out: Optional[Dict[str, np.ndarray]] = None,
-    ) -> Dict[str, np.ndarray]:
-        """Full coupled RHS: Vlasov per species + Maxwell with currents.
-
-        ``out``, when given, is a donated state-shaped buffer dict filled in
-        place (the steady-state path: no phase-space allocation).
-        """
-        if out is None:
-            out = {k: np.empty_like(v) for k, v in state.items()}
-        em = state["em"] if "em" in state else self.em
-        em_eff = self.effective_em(em)
-        for sp in self.species:
-            f = state[f"f/{sp.name}"]
-            df = out[f"f/{sp.name}"]
-            self.solvers[sp.name].rhs(f, em_eff, out=df)
-            if sp.collisions is not None:
-                mom = self.moments[sp.name]
-                sp.collisions.rhs(f, mom, out=df, accumulate=True)
-        if self.field_spec.evolve:
-            current = self.total_current(state, out=self._current_buf())
-            rho = self.total_charge_density(state) if self.field_spec.chi_e else None
-            self.maxwell.rhs(em, current=current, charge_density=rho, out=out["em"])
-        elif "em" in out:
-            out["em"].fill(0.0)
-        return out
-
-    def _current_buf(self) -> np.ndarray:
-        if self._total_current is None:
-            self._total_current = np.empty(
-                self.conf_grid.cells + (3, self.cfg_basis.num_basis)
-            )
-        return self._total_current
-
-    def effective_em(self, em: np.ndarray) -> np.ndarray:
-        """The field the particles feel: ``em`` plus the external drive at
-        the current step time (``em`` itself when there is no drive).  The
-        returned array is a persistent buffer refreshed per call."""
-        if self.external is None:
-            return em
-        np.multiply(
-            self._ext_coeffs, self.external.envelope(self.time), out=self._ext_buf
-        )
-        self._ext_buf += em
-        return self._ext_buf
-
-    # ------------------------------------------------------------------ #
-    # time advance
-    # ------------------------------------------------------------------ #
-    def suggested_dt(self) -> float:
-        freq = 0.0
-        if self.field_spec.evolve:
-            freq += self.maxwell.max_frequency()
-        em_eff = self.effective_em(self.em)
-        for sp in self.species:
-            freq = max(freq, self.solvers[sp.name].max_frequency(em_eff))
-            if sp.collisions is not None:
-                freq = max(freq, sp.collisions.max_frequency())
-        if freq <= 0.0:
-            raise RuntimeError("cannot determine a stable time step")
-        return self.cfl / freq
-
-    def step(self, dt: Optional[float] = None) -> float:
-        """Advance one step (in place; the state arrays are mutated);
-        returns the dt taken."""
-        if dt is None:
-            dt = self.suggested_dt()
-        state = self.state()
-        if not self.field_spec.evolve:
-            # a static field is not stepped: keeps it bitwise frozen and
-            # skips three stage combinations
-            state.pop("em")
-        self.stepper.step_inplace(state, self._rhs_into, dt)
-        self.time += dt
-        self.step_count += 1
-        return dt
-
-    def _rhs_into(self, state: Dict[str, np.ndarray], out: Dict[str, np.ndarray]) -> None:
-        self.rhs(state, out=out)
-
-    def run(
-        self,
-        t_end: float,
-        diagnostics: Optional[Callable[["VlasovMaxwellApp"], None]] = None,
-        max_steps: int = 10**9,
-    ) -> Dict[str, float]:
-        """Advance to ``t_end``; optional per-step diagnostics callback.
-
-        Returns a summary with wall-clock timing (the quantity Table I
-        compares between modal and nodal schemes).
-        """
-        start = time.perf_counter()
-        steps = 0
-        if diagnostics is not None:
-            diagnostics(self)
-        while self.time < t_end - 1e-12 and steps < max_steps:
-            dt = min(self.suggested_dt(), t_end - self.time)
-            self.step(dt)
-            steps += 1
-            if diagnostics is not None:
-                diagnostics(self)
-        wall = time.perf_counter() - start
-        return {
-            "steps": steps,
-            "wall_time": wall,
-            "wall_per_step": wall / max(steps, 1),
-            "time": self.time,
-        }
-
-    # ------------------------------------------------------------------ #
-    # diagnostics
-    # ------------------------------------------------------------------ #
-    def field_energy(self) -> float:
-        return self.maxwell.field_energy(self.em)
-
-    def particle_energy(self, name: str) -> float:
-        sp = next(s for s in self.species if s.name == name)
-        return self.moments[name].particle_energy(self.f[name], sp.mass)
-
-    def total_energy(self) -> float:
-        return self.field_energy() + sum(
-            self.particle_energy(sp.name) for sp in self.species
-        )
-
-    def particle_number(self, name: str) -> float:
-        return self.moments[name].number(self.f[name])
-
-    def jdote(self) -> float:
-        """Instantaneous field–particle energy exchange ``int J.E dx``."""
-        current = self.total_current(self.state())
-        jac = float(np.prod([0.5 * dx for dx in self.conf_grid.dx]))
-        return float(np.sum(current * self.em[..., 0:3, :]) * jac)

@@ -1,40 +1,34 @@
-"""Electrostatic Vlasov–Poisson App (1-D configuration space).
+"""Deprecated: the hand-rolled electrostatic Vlasov–Poisson "App".
 
-The paper's framework also targets Poisson-coupled kinetic systems
-(self-gravitating systems, electrostatic plasmas).  This App closes the
-kinetic equation with the exact 1-D DG electrostatic solve of
-:class:`~repro.fields.poisson.Poisson1D` instead of evolving Maxwell's
-equations: the field is a *functional* of the instantaneous charge density,
-so classic benchmarks (Landau damping, electrostatic two-stream) run without
-resolving light-speed CFL limits.
+Replaced by the composable :mod:`repro.systems` API: a
+:class:`~repro.systems.system.System` with a
+:class:`~repro.systems.blocks.PoissonBlock` functional field closure.
+:class:`VlasovPoissonApp` survives as a thin shim building exactly that
+system (bit-identical results) while emitting a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Optional, Sequence
+import warnings
+from typing import Optional, Sequence
 
-import numpy as np
-
-from ..basis.modal import ModalBasis
-from ..fields.poisson import Poisson1D
 from ..grid.cartesian import Grid
-from ..grid.phase import PhaseGrid
-from ..moments.calc import MomentCalculator
-from ..projection import project_phase_function
-from ..timestepping.ssprk import get_stepper
-from ..vlasov.modal_solver import VlasovModalSolver
-from .vlasov_maxwell import ExternalField, Species
+from ..systems.blocks import ExternalField, PoissonBlock, Species
+from ..systems.system import System
 
 __all__ = ["VlasovPoissonApp"]
 
 
-class VlasovPoissonApp:
-    """Multi-species electrostatic kinetic simulation in 1X geometry.
+class VlasovPoissonApp(System):
+    """Deprecated alias for a Poisson-closed :class:`repro.systems.System`.
 
-    Parameters mirror :class:`~repro.apps.vlasov_maxwell.VlasovMaxwellApp`;
-    ``neutralize=True`` adds the uniform background charge that makes the
-    periodic domain neutral (e.g. immobile ions for electron-only runs).
+    Compose the system directly instead::
+
+        from repro.systems import System, PoissonBlock
+
+        system = System(conf_grid, species,
+                        field=PoissonBlock(epsilon0=1.0, neutralize=True))
     """
 
     def __init__(
@@ -51,164 +45,26 @@ class VlasovPoissonApp:
         backend: str = "numpy",
         external: Optional[ExternalField] = None,
     ):
+        warnings.warn(
+            "VlasovPoissonApp is deprecated; compose a repro.systems.System "
+            "with a PoissonBlock field closure instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if conf_grid.ndim != 1:
             raise ValueError("VlasovPoissonApp supports 1-D configuration space")
-        self.conf_grid = conf_grid
-        self.species = list(species)
-        self.poly_order = int(poly_order)
-        self.family = family
-        self.cfl = float(cfl)
-        self.neutralize = neutralize
-        self.backend = backend
-        self.stepper = get_stepper(stepper)
-        self.time = 0.0
-        self.step_count = 0
-        self._em_buf: Optional[np.ndarray] = None
-
-        self.cfg_basis = ModalBasis(1, poly_order, family)
-        self.poisson = Poisson1D(conf_grid, self.cfg_basis, epsilon0)
-        self.external = external
-        self._ext_coeffs: Optional[np.ndarray] = None
-        if external is not None:
-            from ..projection import project_conf_function
-
-            coeffs = np.zeros(conf_grid.cells + (8, self.cfg_basis.num_basis))
-            from ..fields.maxwell import COMPONENT_NAMES
-
-            for name, fn in external.profiles.items():
-                coeffs[..., COMPONENT_NAMES.index(name), :] = project_conf_function(
-                    fn, conf_grid, self.cfg_basis
-                )
-            self._ext_coeffs = coeffs
-        self.phase_grids: Dict[str, PhaseGrid] = {}
-        self.solvers: Dict[str, VlasovModalSolver] = {}
-        self.moments: Dict[str, MomentCalculator] = {}
-        self.f: Dict[str, np.ndarray] = {}
-        for sp in self.species:
-            pg = PhaseGrid(conf_grid, sp.velocity_grid)
-            self.phase_grids[sp.name] = pg
-            solver = VlasovModalSolver(
-                pg, poly_order, family, sp.charge, sp.mass, backend=backend
-            )
-            self.solvers[sp.name] = solver
-            self.moments[sp.name] = MomentCalculator(pg, solver.kernels, pool=solver.pool)
-            basis = ModalBasis(pg.pdim, poly_order, family)
-            self.f[sp.name] = project_phase_function(sp.initial, pg, basis, ic_quad_order)
-
-    # ------------------------------------------------------------------ #
-    def charge_density(self, state: Dict[str, np.ndarray]) -> np.ndarray:
-        rho = np.zeros(self.conf_grid.cells + (self.cfg_basis.num_basis,))
-        for sp in self.species:
-            rho += sp.charge * self.moments[sp.name].compute(
-                "M0", state[f"f/{sp.name}"]
-            )
-        if self.neutralize:
-            rho[..., 0] -= rho[..., 0].mean()
-        return rho
-
-    def electric_field(self, state: Dict[str, np.ndarray]) -> np.ndarray:
-        """Full EM-state array (cell-major ``(nx, 8, Npc)``) with ``Ex``
-        from the Poisson solve plus any external drive at the current step
-        time (solver interface).
-
-        The returned array is a persistent buffer refreshed on every call.
-        """
-        rho = self.charge_density(state)
-        ex = self.poisson.solve(rho)
-        if self._em_buf is None:
-            self._em_buf = np.zeros(
-                self.conf_grid.cells + (8, self.cfg_basis.num_basis)
-            )
-        if self.external is not None:
-            np.multiply(
-                self._ext_coeffs, self.external.envelope(self.time), out=self._em_buf
-            )
-            self._em_buf[..., 0, :] += ex
-        else:
-            self._em_buf[..., 0, :] = ex
-        return self._em_buf
-
-    def state(self) -> Dict[str, np.ndarray]:
-        return {f"f/{sp.name}": self.f[sp.name] for sp in self.species}
-
-    def set_state(self, state: Dict[str, np.ndarray]) -> None:
-        for sp in self.species:
-            self.f[sp.name] = state[f"f/{sp.name}"]
-
-    def rhs(
-        self,
-        state: Dict[str, np.ndarray],
-        out: Optional[Dict[str, np.ndarray]] = None,
-    ) -> Dict[str, np.ndarray]:
-        """Electrostatic RHS; ``out``, when given, is a donated buffer dict
-        filled in place."""
-        em = self.electric_field(state)
-        if out is None:
-            out = {k: np.empty_like(v) for k, v in state.items()}
-        for sp in self.species:
-            f = state[f"f/{sp.name}"]
-            df = out[f"f/{sp.name}"]
-            self.solvers[sp.name].rhs(f, em, out=df)
-            if sp.collisions is not None:
-                sp.collisions.rhs(f, self.moments[sp.name], out=df, accumulate=True)
-        return out
-
-    # ------------------------------------------------------------------ #
-    def suggested_dt(self) -> float:
-        em = self.electric_field(self.state())
-        freq = 0.0
-        for sp in self.species:
-            freq = max(freq, self.solvers[sp.name].max_frequency(em))
-            if sp.collisions is not None:
-                freq = max(freq, sp.collisions.max_frequency())
-        return self.cfl / freq
-
-    def step(self, dt: Optional[float] = None) -> float:
-        if dt is None:
-            dt = self.suggested_dt()
-        self.stepper.step_inplace(self.state(), self._rhs_into, dt)
-        self.time += dt
-        self.step_count += 1
-        return dt
-
-    def _rhs_into(self, state: Dict[str, np.ndarray], out: Dict[str, np.ndarray]) -> None:
-        self.rhs(state, out=out)
-
-    def run(self, t_end: float, diagnostics=None, max_steps: int = 10**9):
-        start = time.perf_counter()
-        steps = 0
-        if diagnostics is not None:
-            diagnostics(self)
-        while self.time < t_end - 1e-12 and steps < max_steps:
-            dt = min(self.suggested_dt(), t_end - self.time)
-            self.step(dt)
-            steps += 1
-            if diagnostics is not None:
-                diagnostics(self)
-        wall = time.perf_counter() - start
-        return {
-            "steps": steps,
-            "wall_time": wall,
-            "wall_per_step": wall / max(steps, 1),
-            "time": self.time,
-        }
-
-    # ------------------------------------------------------------------ #
-    def field_energy(self) -> float:
-        """Electrostatic energy ``(eps0/2) int E^2 dx``."""
-        em = self.electric_field(self.state())
-        jac = 0.5 * self.conf_grid.dx[0]
-        return 0.5 * self.poisson.epsilon0 * float(np.sum(em[..., 0, :] ** 2)) * jac
-
-    def particle_energy(self, name: str) -> float:
-        sp = next(s for s in self.species if s.name == name)
-        return self.moments[name].particle_energy(self.f[name], sp.mass)
-
-    def total_energy(self) -> float:
-        return self.field_energy() + sum(
-            self.particle_energy(sp.name) for sp in self.species
+        System.__init__(
+            self,
+            conf_grid,
+            species,
+            field=PoissonBlock(epsilon0=epsilon0, neutralize=neutralize),
+            poly_order=poly_order,
+            family=family,
+            cfl=cfl,
+            scheme="modal",
+            stepper=stepper,
+            ic_quad_order=ic_quad_order,
+            backend=backend,
+            external=external,
+            name="poisson",
         )
-
-    def particle_number(self, name: str) -> float:
-        return self.moments[name].number(self.f[name])
-

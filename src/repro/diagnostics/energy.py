@@ -19,10 +19,18 @@ import numpy as np
 __all__ = ["EnergyHistory"]
 
 
+_PARTICLE_PREFIX = "particle/"
+
+
 @dataclass
 class EnergyHistory:
     """Per-step energy record; use as the ``diagnostics`` callback of
-    :meth:`repro.apps.vlasov_maxwell.VlasovMaxwellApp.run`."""
+    :func:`repro.systems.run_loop` / :meth:`repro.systems.System.run`.
+
+    Reads the model through the :class:`repro.systems.Model` protocol
+    (``energies()``), so any registered system — or a sharded wrapper — can
+    be recorded without per-app code.
+    """
 
     times: List[float] = field(default_factory=list)
     field_energy: List[float] = field(default_factory=list)
@@ -30,15 +38,17 @@ class EnergyHistory:
     jdote: List[float] = field(default_factory=list)
     record_jdote: bool = False
 
-    def __call__(self, app) -> None:
-        self.times.append(app.time)
-        self.field_energy.append(app.field_energy())
-        for sp in app.species:
-            self.particle_energy.setdefault(sp.name, []).append(
-                app.particle_energy(sp.name)
-            )
+    def __call__(self, model) -> None:
+        self.times.append(model.time)
+        energies = model.energies()
+        self.field_energy.append(energies["field"])
+        for key, val in energies.items():
+            if key.startswith(_PARTICLE_PREFIX):
+                self.particle_energy.setdefault(
+                    key[len(_PARTICLE_PREFIX):], []
+                ).append(val)
         if self.record_jdote:
-            self.jdote.append(app.jdote())
+            self.jdote.append(model.jdote())
 
     # ------------------------------------------------------------------ #
     @property

@@ -372,8 +372,7 @@ class BlockMaxwellRHS:
 # --------------------------------------------------------------------- #
 def build_block_species(app, plan: ShardPlan, shard: int) -> List[BlockSpecies]:
     """Build the per-species block solver stacks for one shard of ``app``
-    (a serial :class:`~repro.apps.vlasov_maxwell.VlasovMaxwellApp` or
-    :class:`~repro.apps.vlasov_poisson.VlasovPoissonApp`)."""
+    (a serial :class:`~repro.systems.system.System`, any field closure)."""
     block_conf = BlockGrid(app.conf_grid, plan.ranges(shard))
     out = []
     for sp in app.species:

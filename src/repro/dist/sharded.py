@@ -1,8 +1,10 @@
-"""Process-sharded app execution: real workers, shared-memory halos.
+"""Process-sharded model execution: real workers, shared-memory halos.
 
-:class:`ShardedApp` wraps a serial App (Vlasov–Maxwell or Vlasov–Poisson)
-and executes its time steps across persistent **worker processes**, one per
-configuration-cell block of a :class:`~repro.dist.plan.ShardPlan`:
+:class:`ShardedApp` wraps a serial :class:`~repro.systems.system.System`
+(any field closure — Maxwell, Poisson, or field-free — dispatched on
+``system.field_kind``, never on concrete classes) and executes its time
+steps across persistent **worker processes**, one per configuration-cell
+block of a :class:`~repro.dist.plan.ShardPlan`:
 
 * the global state arrays (every distribution function, the EM field) live
   in :mod:`multiprocessing.shared_memory`, so halo exchange is an in-place
@@ -19,11 +21,12 @@ configuration-cell block of a :class:`~repro.dist.plan.ShardPlan`:
   one — including checkpoint/resume, which serializes the gathered global
   state through the unchanged Driver path.
 
-The parent keeps the serial app for everything that is not stepping:
+The parent keeps the serial system for everything that is not stepping:
 initial-condition projection, diagnostics, energies, CFL, checkpoint
-gather/scatter.  Workers are forked (Linux), so they inherit the parent's
-generated-kernel cache and app configuration without pickling; the parent
-never evaluates an RHS itself.
+gather/scatter — all through the :class:`~repro.systems.model.Model`
+protocol.  Workers are forked (Linux), so they inherit the parent's
+generated-kernel cache and system configuration without pickling; the
+parent never evaluates an RHS itself.
 """
 
 from __future__ import annotations
@@ -39,7 +42,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..apps.vlasov_poisson import VlasovPoissonApp
+from ..systems.model import run_loop
 from .blocks import BlockMaxwellRHS, fill_padded, build_block_species
 from .plan import HaloStats, ShardPlan
 
@@ -63,8 +66,10 @@ class _ShardWorker:
         self.shared = shared
         self.rho_shared = rho_shared
         self.barrier = barrier
-        self.is_poisson = isinstance(app, VlasovPoissonApp)
-        self.evolve = (not self.is_poisson) and app.field_spec.evolve
+        field_kind = getattr(app, "field_kind", "maxwell")
+        self.is_poisson = field_kind == "poisson"
+        self.has_em = field_kind == "maxwell"
+        self.evolve = self.has_em and app.field_spec.evolve
         self.ranges = plan.ranges(shard)
         self.pad = plan.pad
         self.block_cells = plan.block_cells(shard)
@@ -138,7 +143,7 @@ class _ShardWorker:
                 self.conf_cells, self.stats_em,
             )
             np.copyto(self.em_block, self.em_pad[self.maxwell_block._interior])
-        elif not self.is_poisson:
+        elif self.has_em:
             # static field: no ghosts needed, but re-read the slab each
             # stage so a parent set_state (checkpoint resume) is seen
             np.copyto(self.em_block, self.shared["em"][self._em_slab])
@@ -344,21 +349,23 @@ def _shutdown(procs, conns, segments) -> None:
 
 
 class ShardedApp:
-    """Executes a serial App's steps across real worker processes.
+    """Executes a serial system's steps across real worker processes.
 
-    Everything except :meth:`step` delegates to the wrapped serial app —
+    Everything except :meth:`step` delegates to the wrapped serial system —
     which now operates on shared-memory state arrays, so diagnostics,
     energies, CFL estimates, and checkpoint gather/scatter see exactly what
-    the workers compute.  Construction forks the workers; :meth:`close`
-    (also registered as a finalizer) stops them and releases the shared
-    segments.
+    the workers compute.  The wrapper satisfies the full
+    :class:`~repro.systems.model.Model` protocol (it forwards it), so the
+    Driver cannot tell a sharded model from a serial one.  Construction
+    forks the workers; :meth:`close` (also registered as a finalizer) stops
+    them and releases the shared segments.
 
     Parameters
     ----------
     app:
-        A freshly built serial :class:`~repro.apps.vlasov_maxwell.VlasovMaxwellApp`
-        or :class:`~repro.apps.vlasov_poisson.VlasovPoissonApp` (modal
-        scheme, central velocity flux).
+        A freshly built serial :class:`~repro.systems.system.System`
+        (modal scheme, central velocity flux; any field closure —
+        dispatched on ``app.field_kind``).
     shards:
         Worker-process count; the configuration grid is factorized into
         this many blocks (must keep >= 2 cells along an axis per block).
@@ -369,6 +376,15 @@ class ShardedApp:
             raise ValueError(
                 "process sharding supports the modal scheme only "
                 f"(got scheme={app.scheme!r})"
+            )
+        field_kind = getattr(app, "field_kind", "maxwell")
+        if field_kind not in ("maxwell", "poisson", "none"):
+            # an unknown closure would be silently executed as field-free
+            # by the worker dispatch — refuse instead
+            raise ValueError(
+                "process sharding supports the maxwell/poisson/none field "
+                f"closures only (got field_kind={field_kind!r}); register "
+                "the system with shardable=False"
             )
         if "fork" not in mp.get_all_start_methods():
             raise RuntimeError(
@@ -390,11 +406,13 @@ class ShardedApp:
         if "em" in self._shared:
             app.em = self._shared["em"]
         rho_shared = None
-        if isinstance(app, VlasovPoissonApp):
+        if app.field_kind == "poisson":
             rho_shared = self._alloc(
                 np.zeros(app.conf_grid.cells + (app.cfg_basis.num_basis,))
             )
-        elif "em" not in self._shared:  # pragma: no cover - maxwell always has em
+        elif (
+            app.field_kind == "maxwell" and "em" not in self._shared
+        ):  # pragma: no cover - maxwell always has em
             raise RuntimeError("maxwell state without an EM field")
 
         ctx = mp.get_context("fork")
@@ -486,10 +504,8 @@ class ShardedApp:
 
     def set_state(self, state: Dict[str, np.ndarray]) -> None:
         """Scatter a (checkpoint) state into the shared arrays in place —
-        worker views stay valid, unlike the serial apps' rebinding."""
+        worker views stay valid, unlike the serial system's rebinding."""
         for key, shared in self._shared.items():
-            if key == "em" and isinstance(self._inner, VlasovPoissonApp):
-                continue
             np.copyto(shared, state[key])
 
     def step(self, dt: Optional[float] = None) -> float:
@@ -508,25 +524,7 @@ class ShardedApp:
         self._command(("rhs", float(self._inner.time)))
 
     def run(self, t_end: float, diagnostics=None, max_steps: int = 10**9):
-        import time as _time
-
-        start = _time.perf_counter()
-        steps = 0
-        if diagnostics is not None:
-            diagnostics(self)
-        while self.time < t_end - 1e-12 and steps < max_steps:
-            dt = min(self.suggested_dt(), t_end - self.time)
-            self.step(dt)
-            steps += 1
-            if diagnostics is not None:
-                diagnostics(self)
-        wall = _time.perf_counter() - start
-        return {
-            "steps": steps,
-            "wall_time": wall,
-            "wall_per_step": wall / max(steps, 1),
-            "time": self.time,
-        }
+        return run_loop(self, t_end, diagnostics=diagnostics, max_steps=max_steps)
 
     # ------------------------------------------------------------------ #
     @property
@@ -557,7 +555,7 @@ class ShardedApp:
             key = f"f/{sp.name}"
             if key in self._shared:
                 app.f[sp.name] = np.array(self._shared[key])
-        if "em" in self._shared and not isinstance(app, VlasovPoissonApp):
+        if "em" in self._shared:
             app.em = np.array(self._shared["em"])
         self._shared.clear()
         if self._finalizer.detach() is not None:

@@ -33,9 +33,24 @@ from ..basis.matrices import derivative_matrix, face_matrices
 from ..basis.modal import ModalBasis
 from ..grid.cartesian import Grid
 
-__all__ = ["MaxwellSolver", "COMPONENT_NAMES"]
+__all__ = ["MaxwellSolver", "COMPONENT_NAMES", "project_em_components"]
 
 COMPONENT_NAMES = ("Ex", "Ey", "Ez", "Bx", "By", "Bz", "phi", "psi")
+
+
+def project_em_components(grid, basis, funcs) -> "np.ndarray":
+    """L2-project callables ``{component name: f(*coords)}`` onto the
+    8-component cell-major EM layout; missing components are zero.
+
+    The single projection used for field initial conditions and for
+    external-drive spatial profiles (any field block)."""
+    from ..projection import project_conf_function
+
+    q = np.zeros(grid.cells + (8, basis.num_basis))
+    for name, fn in funcs.items():
+        comp = COMPONENT_NAMES.index(name)
+        q[..., comp, :] = project_conf_function(fn, grid, basis)
+    return q
 
 # flux matrices: FLUX[d] maps state -> flux of each component along x_d,
 # as a list of (target_component, source_component, coefficient_kind)
@@ -213,10 +228,4 @@ class MaxwellSolver:
     def project_initial_condition(self, funcs: Dict[str, object]) -> np.ndarray:
         """L2-project callables ``{component name: f(*coords)}`` onto the
         basis; missing components are zero."""
-        from ..projection import project_conf_function
-
-        q = self.allocate()
-        for name, fn in funcs.items():
-            comp = COMPONENT_NAMES.index(name)
-            q[..., comp, :] = project_conf_function(fn, self.grid, self.basis)
-        return q
+        return project_em_components(self.grid, self.basis, funcs)

@@ -162,10 +162,11 @@ def convert_checkpoint_layout(
 
 
 # --------------------------------------------------------------------- #
-# app-level helpers
+# model-level helpers
 # --------------------------------------------------------------------- #
 def save_app(path: PathLike, app) -> None:
-    """Checkpoint a :class:`~repro.apps.vlasov_maxwell.VlasovMaxwellApp`."""
+    """Checkpoint a :class:`~repro.systems.system.System` (or any Model
+    exposing the discretization attributes recorded below)."""
     meta = {
         "time": app.time,
         "step_count": app.step_count,
@@ -179,8 +180,9 @@ def save_app(path: PathLike, app) -> None:
 
 
 def restore_app(path: PathLike, app) -> Dict:
-    """Restore App state in place (converting legacy mode-major checkpoints
-    transparently); returns the checkpoint metadata."""
+    """Restore Model state in place through the protocol
+    (``set_state``/``time``/``step_count``), converting legacy mode-major
+    checkpoints transparently; returns the checkpoint metadata."""
     state, meta = load_checkpoint(path)
     state = normalize_state_layout(state, meta, app.conf_grid.ndim)
     app.set_state({k: np.array(v) for k, v in state.items()})

@@ -3,6 +3,7 @@
 Subcommands::
 
     repro list                         # catalogue of registered scenarios
+    repro systems                      # catalogue of registered system kinds
     repro show <scenario>              # the scenario's spec as JSON
     repro run <scenario> [--set k=v]   # build + run one simulation
     repro resume <checkpoint.npz>      # continue an interrupted run
@@ -74,6 +75,17 @@ def _cmd_list(args) -> int:
         if args.verbose:
             for key, default in sc.params.items():
                 print(f"{'':<{width}}    {key} = {default}")
+    return 0
+
+
+def _cmd_systems(args) -> int:
+    from ..systems.registry import list_system_kinds
+
+    kinds = list_system_kinds()
+    width = max(len(k.name) for k in kinds)
+    for kind in kinds:
+        shard = "" if kind.shardable else "  [no process:N sharding]"
+        print(f"{kind.name:<{width}}  {kind.description}{shard}")
     return 0
 
 
@@ -195,6 +207,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list registered scenarios")
     p_list.add_argument("-v", "--verbose", action="store_true", help="show parameters")
     p_list.set_defaults(func=_cmd_list)
+
+    p_systems = sub.add_parser(
+        "systems", help="list registered system kinds (SimulationSpec models)"
+    )
+    p_systems.set_defaults(func=_cmd_systems)
 
     p_show = sub.add_parser("show", help="print a scenario's spec as JSON")
     p_show.add_argument("scenario")

@@ -1,10 +1,16 @@
-"""The simulation driver: compiles a spec into an App and runs it.
+"""The simulation driver: compiles a spec into a System and runs it.
 
 This is the runtime's counterpart of Gkeyll's App layer: given a
-:class:`~repro.runtime.spec.SimulationSpec` it instantiates the right solver
-stack (Vlasov–Poisson vs Vlasov–Maxwell, modal vs quadrature), projects the
-declarative initial conditions, then advances the system with scheduled
-energy diagnostics, periodic checkpoints, and an optional wall-clock budget.
+:class:`~repro.runtime.spec.SimulationSpec` it builds the registered
+system declaration (:func:`repro.systems.build_system` — Vlasov–Maxwell,
+Vlasov–Poisson, field-free advection, or any system registered through
+:func:`repro.systems.register_system`), projects the declarative initial
+conditions, then advances the model with scheduled energy diagnostics,
+periodic checkpoints, and an optional wall-clock budget.  Everything the
+driver touches on the built object is the
+:class:`~repro.systems.model.Model` protocol — state/set_state, rhs,
+suggested_dt, step, time/step_count, energies, observables.
+
 A run interrupted by the budget (or a kill) resumes bit-for-bit from its
 latest checkpoint via :meth:`Driver.from_checkpoint` — the checkpoint embeds
 the full spec, so resuming needs nothing but the ``.npz`` file.
@@ -19,13 +25,10 @@ from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
-from ..apps.vlasov_maxwell import ExternalField, FieldSpec, Species, VlasovMaxwellApp
-from ..apps.vlasov_poisson import VlasovPoissonApp
 from ..diagnostics.energy import EnergyHistory
-from ..grid.phase import PhaseGrid
 from ..io.checkpoint import load_checkpoint, normalize_state_layout, save_checkpoint
+from ..systems.registry import build_system
 from .errors import SpecError
-from .profiles import build_conf_profile, build_phase_profile
 from .spec import SimulationSpec
 
 __all__ = ["Driver", "build_app"]
@@ -34,100 +37,17 @@ PathLike = Union[str, Path]
 _HISTORY_PREFIX = "history/"
 
 
-def _build_collisions(coll_spec, phase_grid: PhaseGrid, spec: SimulationSpec):
-    if coll_spec.kind == "lbo":
-        from ..collisions.lbo import LBOCollisions
-
-        return LBOCollisions(phase_grid, spec.poly_order, spec.family, nu=coll_spec.nu)
-    from ..collisions.bgk import BGKCollisions
-
-    return BGKCollisions(phase_grid, spec.poly_order, spec.family, nu=coll_spec.nu)
-
-
 def build_app(spec: SimulationSpec):
-    """Instantiate the App described by ``spec`` (ICs projected, t=0).
+    """Instantiate the :class:`~repro.systems.system.System` described by
+    ``spec`` (ICs projected, t=0).
 
-    A ``process[:N]`` backend returns the serial app wrapped in a
+    A ``process[:N]`` backend returns the serial system wrapped in a
     :class:`repro.dist.ShardedApp`: construction forks N persistent worker
     processes that execute the steps over shared-memory state, while the
-    returned object keeps the full serial App interface (diagnostics,
-    checkpoint gather/scatter, CFL) bit-identical to a serial run.
+    returned object keeps the full Model protocol (diagnostics, checkpoint
+    gather/scatter, CFL) bit-identical to a serial run.
     """
-    spec = spec.validate()
-    conf_grid = spec.conf_grid.build()
-    cdim = conf_grid.ndim
-
-    species = []
-    for sp in spec.species:
-        vel_grid = sp.velocity_grid.build()
-        initial = build_phase_profile(
-            sp.initial, cdim, vel_grid.ndim, f"species[{sp.name}].initial"
-        )
-        collisions = None
-        if sp.collisions is not None:
-            collisions = _build_collisions(
-                sp.collisions, PhaseGrid(conf_grid, vel_grid), spec
-            )
-        species.append(
-            Species(sp.name, sp.charge, sp.mass, vel_grid, initial, collisions)
-        )
-
-    external = None
-    if spec.external_field is not None:
-        ext = spec.external_field
-        external = ExternalField(
-            profiles={
-                comp: build_conf_profile(prof, cdim, f"external_field.components.{comp}")
-                for comp, prof in ext.components.items()
-            },
-            omega=ext.omega,
-            phase=ext.phase,
-            ramp=ext.ramp,
-        )
-
-    if spec.model == "poisson":
-        app = VlasovPoissonApp(
-            conf_grid,
-            species,
-            poly_order=spec.poly_order,
-            family=spec.family,
-            cfl=spec.cfl,
-            stepper=spec.stepper,
-            epsilon0=spec.epsilon0,
-            neutralize=spec.neutralize,
-            backend=spec.backend,
-            external=external,
-        )
-        return _maybe_shard(app, spec)
-
-    field = None
-    if spec.field is not None:
-        fs = spec.field
-        field = FieldSpec(
-            initial={
-                comp: build_conf_profile(prof, cdim, f"field.initial.{comp}")
-                for comp, prof in fs.initial.items()
-            },
-            light_speed=fs.light_speed,
-            epsilon0=fs.epsilon0,
-            flux=fs.flux,
-            chi_e=fs.chi_e,
-            chi_m=fs.chi_m,
-            evolve=fs.evolve,
-        )
-    app = VlasovMaxwellApp(
-        conf_grid,
-        species,
-        field=field,
-        poly_order=spec.poly_order,
-        family=spec.family,
-        cfl=spec.cfl,
-        scheme=spec.scheme,
-        stepper=spec.stepper,
-        backend=spec.backend,
-        external=external,
-    )
-    return _maybe_shard(app, spec)
+    return _maybe_shard(build_system(spec), spec)
 
 
 def _maybe_shard(app, spec: SimulationSpec):
@@ -136,6 +56,14 @@ def _maybe_shard(app, spec: SimulationSpec):
     backend = get_backend(spec.backend)
     if not isinstance(backend, ProcessBackend):
         return app
+    from ..systems.registry import get_system_kind
+
+    if not get_system_kind(spec.model).shardable:
+        raise SpecError(
+            "spec.backend",
+            f"system {spec.model!r} is registered as not shardable; "
+            "use the numpy or threaded backend",
+        )
     from ..dist import ShardedApp
 
     try:
@@ -364,6 +292,9 @@ class Driver:
 
     def summary(self, status: str = "complete") -> Dict[str, object]:
         app = self.app
+        energies = app.energies()
+        observables = app.observables()
+        number_prefix = "particle_number/"
         out: Dict[str, object] = {
             "scenario": self.spec.name,
             "status": status,
@@ -371,10 +302,12 @@ class Driver:
             "steps": app.step_count,
             "wall_time": self.wall_time,
             "wall_per_step": self.wall_time / max(app.step_count, 1),
-            "field_energy": app.field_energy(),
-            "total_energy": app.total_energy(),
+            "field_energy": energies["field"],
+            "total_energy": energies["total"],
             "particle_number": {
-                sp.name: app.particle_number(sp.name) for sp in app.species
+                key[len(number_prefix):]: val
+                for key, val in observables.items()
+                if key.startswith(number_prefix)
             },
         }
         if self.history.times:

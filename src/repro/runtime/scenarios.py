@@ -66,8 +66,11 @@ def scenario(name: str, description: Optional[str] = None):
     """Register a spec-builder function under ``name``."""
 
     def deco(fn):
-        desc = description or (fn.__doc__ or "").strip().splitlines()[0]
-        _REGISTRY[name] = Scenario(name=name, func=fn, description=desc)
+        from ..systems.registry import doc_summary
+
+        _REGISTRY[name] = Scenario(
+            name=name, func=fn, description=doc_summary(fn, description)
+        )
         return fn
 
     return deco
@@ -384,6 +387,124 @@ def driven_landau(
         ),
         poly_order=poly_order,
         cfl=0.6,
+        t_end=t_end,
+    )
+
+
+@scenario("advection_1d")
+def advection_1d(
+    k: float = 1.0,
+    amp: float = 0.3,
+    vt: float = 1.0,
+    nx: int = 16,
+    nv: int = 16,
+    vmax: float = 5.0,
+    poly_order: int = 2,
+    t_end: float = 5.0,
+) -> SimulationSpec:
+    """Passive DG advection: field-free streaming through the systems API.
+
+    The simplest registered system — one neutral tracer species, no field
+    closure at all (``model="advection"`` maps to a
+    :class:`~repro.systems.blocks.NullFieldBlock`), so the state carries
+    distribution functions only.  Exercises the pure streaming operator:
+    a perturbed Maxwellian phase-mixes while the density pattern advects.
+    """
+    length = 2.0 * math.pi / k
+    return SimulationSpec(
+        name="advection_1d",
+        model="advection",
+        conf_grid=GridSpec((0.0,), (length,), (nx,)),
+        species=(
+            SpeciesSpec(
+                name="tracer",
+                charge=0.0,
+                mass=1.0,
+                velocity_grid=GridSpec((-vmax,), (vmax,), (nv,)),
+                initial={
+                    "kind": "maxwellian",
+                    "vt": vt,
+                    "perturbation": {"amp": amp, "k": k},
+                },
+            ),
+        ),
+        poly_order=poly_order,
+        cfl=0.8,
+        t_end=t_end,
+    )
+
+
+@scenario("multispecies_shock")
+def multispecies_shock(
+    drift: float = 1.0,
+    mass_ratio: float = 25.0,
+    vt_ion: float = 0.08,
+    nu: float = 5.0,
+    amp: float = 0.4,
+    k: float = 0.5,
+    nx: int = 24,
+    nv: int = 24,
+    poly_order: int = 2,
+    t_end: float = 4.0,
+) -> SimulationSpec:
+    """Colliding plasma slabs: counter-streaming collisional ion beams +
+    kinetic electrons (Vlasov–Poisson, 1X1V).
+
+    Two ion populations drift through each other at several ion-acoustic
+    Mach numbers (:math:`c_s = \\sqrt{T_e/m_i}`), with counter-phased
+    density modulations so left- and right-dominated regions collide at
+    their interfaces; LBO collisions thermalize the interpenetration into
+    shock-like heating fronts.  A three-species registered-system workload
+    with zero bespoke code: electrons + two ion beams, collisions, and the
+    electrostatic closure are all declarative blocks.
+    """
+    length = 2.0 * math.pi / k
+    cs = math.sqrt(1.0 / mass_ratio)
+    vmax_i = drift + 6.0 * vt_ion + 2.0 * cs
+    coll = CollisionsSpec(kind="lbo", nu=nu)
+    return SimulationSpec(
+        name="multispecies_shock",
+        model="poisson",
+        conf_grid=GridSpec((0.0,), (length,), (nx,)),
+        species=(
+            SpeciesSpec(
+                name="elc",
+                charge=-1.0,
+                mass=1.0,
+                velocity_grid=GridSpec((-6.0,), (6.0,), (nv,)),
+                initial={"kind": "maxwellian", "vt": 1.0},
+            ),
+            SpeciesSpec(
+                name="ion_l",
+                charge=1.0,
+                mass=mass_ratio,
+                velocity_grid=GridSpec((-vmax_i,), (vmax_i,), (nv,)),
+                initial={
+                    "kind": "maxwellian",
+                    "n0": 0.5,
+                    "vt": vt_ion,
+                    "drift": drift,
+                    "perturbation": {"amp": amp, "k": k},
+                },
+                collisions=coll,
+            ),
+            SpeciesSpec(
+                name="ion_r",
+                charge=1.0,
+                mass=mass_ratio,
+                velocity_grid=GridSpec((-vmax_i,), (vmax_i,), (nv,)),
+                initial={
+                    "kind": "maxwellian",
+                    "n0": 0.5,
+                    "vt": vt_ion,
+                    "drift": -drift,
+                    "perturbation": {"amp": amp, "k": k, "phase": math.pi},
+                },
+                collisions=coll,
+            ),
+        ),
+        poly_order=poly_order,
+        cfl=0.5,
         t_end=t_end,
     )
 

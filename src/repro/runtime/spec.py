@@ -1,12 +1,14 @@
 """Declarative simulation specifications.
 
 A :class:`SimulationSpec` is the JSON-serializable description of one
-kinetic run: model (Vlasov–Poisson vs Vlasov–Maxwell), discretization,
-grids, species with kind-tagged initial-condition profiles, optional
-collisions, EM field seeding, and diagnostics scheduling.  It plays the
-role of Gkeyll's Lua input file: the :class:`~repro.runtime.driver.Driver`
-compiles a spec into a live App, and the campaign runner scans over spec
-overrides.
+kinetic run: model (any system registered in
+:mod:`repro.systems.registry` — ``maxwell``, ``poisson``, ``advection``,
+...), discretization, grids, species with kind-tagged initial-condition
+profiles, optional collisions, EM field seeding, and diagnostics
+scheduling.  It plays the role of Gkeyll's Lua input file: the
+:class:`~repro.runtime.driver.Driver` compiles a spec into a live
+:class:`~repro.systems.system.System`, and the campaign runner scans over
+spec overrides.
 
 Every validation failure raises :class:`~repro.runtime.errors.SpecError`
 naming the offending field as a dotted path (``species[0].velocity_grid.cells``)
@@ -34,9 +36,7 @@ __all__ = [
     "SpecError",
 ]
 
-MODELS = ("poisson", "maxwell")
 SCHEMES = ("modal", "quadrature")
-STEPPERS = ("ssp-rk3", "ssp-rk2", "forward-euler")
 COLLISION_KINDS = ("lbo", "bgk")
 EM_COMPONENTS = ("Ex", "Ey", "Ez", "Bx", "By", "Bz", "phi", "psi")
 
@@ -479,20 +479,28 @@ class SimulationSpec:
 
     # ------------------------------------------------------------------ #
     def validate(self, path: str = "spec") -> "SimulationSpec":
+        # the model catalogue is the systems registry: every registered
+        # system declaration is a valid model name, nothing else is
+        from ..systems.registry import get_system_kind, known_models
+
         if not isinstance(self.name, str) or not self.name:
             raise SpecError(f"{path}.name", f"expected a non-empty string, got {self.name!r}")
-        if self.model not in MODELS:
+        if self.model not in known_models():
             raise SpecError(
-                f"{path}.model", f"unknown model {self.model!r} (known: {', '.join(MODELS)})"
+                f"{path}.model",
+                f"unknown model {self.model!r} (known: {', '.join(known_models())})",
             )
         if self.scheme not in SCHEMES:
             raise SpecError(
                 f"{path}.scheme", f"unknown scheme {self.scheme!r} (known: {', '.join(SCHEMES)})"
             )
-        if self.stepper not in STEPPERS:
+        from ..timestepping.ssprk import available_steppers
+
+        if self.stepper not in available_steppers():
             raise SpecError(
                 f"{path}.stepper",
-                f"unknown stepper {self.stepper!r} (known: {', '.join(STEPPERS)})",
+                f"unknown stepper {self.stepper!r} "
+                f"(known: {', '.join(available_steppers())})",
             )
         from ..engine.backend import get_backend
 
@@ -524,37 +532,15 @@ class SimulationSpec:
             raise SpecError(f"{path}.species", f"species names must be unique, got {names}")
         for i, sp in enumerate(self.species):
             sp.validate(f"{path}.species[{i}]", cdim)
-        if self.model == "poisson":
-            if cdim != 1:
-                raise SpecError(
-                    f"{path}.conf_grid.cells",
-                    "the poisson model supports 1-D configuration space only",
-                )
-            if self.scheme != "modal":
-                raise SpecError(
-                    f"{path}.scheme", "the poisson model only supports the modal scheme"
-                )
-            if self.field is not None:
-                raise SpecError(
-                    f"{path}.field",
-                    "the poisson model computes its field from charge density; drop 'field'",
-                )
-            if self.diagnostics.record_jdote:
-                raise SpecError(
-                    f"{path}.diagnostics.record_jdote",
-                    "J.E recording requires the maxwell model",
-                )
-        if self.model == "maxwell":
-            if self.epsilon0 != 1.0:
-                raise SpecError(
-                    f"{path}.epsilon0",
-                    "the maxwell model reads field.epsilon0; set that instead",
-                )
-            if not self.neutralize:
-                raise SpecError(
-                    f"{path}.neutralize",
-                    "neutralize only applies to the poisson model",
-                )
+        # model-specific constraints live with the registered system
+        kind = get_system_kind(self.model)
+        if self.diagnostics.record_jdote and not kind.supports_jdote:
+            raise SpecError(
+                f"{path}.diagnostics.record_jdote",
+                "J.E recording requires the maxwell model",
+            )
+        if kind.validate is not None:
+            kind.validate(self, path)
         if self.field is not None:
             self.field.validate(f"{path}.field", cdim)
         if self.external_field is not None:

@@ -1,0 +1,332 @@
+"""The composable ``System``: species blocks + a field block = a model.
+
+A :class:`System` is the single :class:`~repro.systems.model.Model`
+implementation behind every workload: Vlasov–Maxwell, Vlasov–Poisson,
+field-free advection, and anything else declared through the registry are
+all the *same* class wired with different blocks.  The hand-rolled
+``VlasovMaxwellApp`` / ``VlasovPoissonApp`` classes survive only as thin
+deprecation shims over this one.
+
+The execution structure (buffer reuse, accumulation order, stepping) is
+identical to the former apps', so a block-built system reproduces their
+results bit for bit — the property the conformance suite and the sharded
+backend's serial-equality tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..grid.cartesian import Grid
+from ..timestepping.ssprk import get_stepper
+from .blocks import (
+    ExternalField,
+    FieldBlock,
+    KineticSpecies,
+    MaxwellBlock,
+    NullFieldBlock,
+    PoissonBlock,
+    Species,
+)
+from .model import cfl_dt, run_loop
+
+__all__ = ["System"]
+
+
+class System:
+    """Multi-species kinetic system assembled from declarative blocks.
+
+    Parameters
+    ----------
+    conf_grid:
+        Configuration-space grid (periodic).
+    species:
+        Kinetic species declarations (:class:`~repro.systems.blocks.Species`).
+    field:
+        A field block — :class:`MaxwellBlock`, :class:`PoissonBlock`, or
+        :class:`NullFieldBlock` (the default: field-free streaming).
+    poly_order, family:
+        DG basis selection.
+    cfl:
+        CFL number (fraction of the stability limit).
+    scheme:
+        ``"modal"`` (the paper's algorithm) or ``"quadrature"``
+        (the alias-free nodal-style baseline of Table I).
+    stepper:
+        ``"ssp-rk3"`` (default), ``"ssp-rk2"`` or ``"forward-euler"``.
+    external:
+        Optional prescribed time-dependent EM drive.
+    name:
+        Registry name of the system declaration (informational).
+    """
+
+    def __init__(
+        self,
+        conf_grid: Grid,
+        species: Sequence[Species],
+        field: Optional[FieldBlock] = None,
+        poly_order: int = 2,
+        family: str = "serendipity",
+        cfl: float = 0.9,
+        scheme: str = "modal",
+        stepper: str = "ssp-rk3",
+        velocity_flux: str = "central",
+        ic_quad_order: Optional[int] = None,
+        backend: str = "numpy",
+        external: Optional[ExternalField] = None,
+        name: Optional[str] = None,
+    ):
+        if scheme not in ("modal", "quadrature"):
+            raise ValueError("scheme must be 'modal' or 'quadrature'")
+        if not species:
+            raise ValueError("need at least one species")
+        names = [s.name for s in species]
+        if len(set(names)) != len(names):
+            raise ValueError("species names must be unique")
+        if field is None:
+            field = NullFieldBlock()
+        if not isinstance(field, FieldBlock):
+            raise TypeError(
+                f"field must be a FieldBlock (MaxwellBlock/PoissonBlock/"
+                f"NullFieldBlock), got {type(field).__name__}"
+            )
+        self.name = name or field.kind
+        self.conf_grid = conf_grid
+        self.species = list(species)
+        self.field = field
+        self.poly_order = int(poly_order)
+        self.family = family
+        self.cfl = float(cfl)
+        self.scheme = scheme
+        self.backend = backend
+        self.stepper = get_stepper(stepper)
+        self.time = 0.0
+        self.step_count = 0
+
+        from ..basis.modal import ModalBasis
+
+        self.cfg_basis = ModalBasis(conf_grid.ndim, poly_order, family)
+        field.bind_to(conf_grid, self.cfg_basis, external)
+
+        self.blocks: List[KineticSpecies] = [
+            KineticSpecies(
+                sp, conf_grid, self.poly_order, family, scheme, velocity_flux,
+                backend, ic_quad_order,
+            )
+            for sp in self.species
+        ]
+        # legacy-named views of the block stacks (tests, examples, and the
+        # sharded backend address them this way)
+        self.phase_grids = {b.name: b.phase_grid for b in self.blocks}
+        self.solvers = {b.name: b.solver for b in self.blocks}
+        self.moments = {b.name: b.moments for b in self.blocks}
+        self.f: Dict[str, np.ndarray] = {
+            b.name: b.project_initial() for b in self.blocks
+        }
+        self.em: Optional[np.ndarray] = field.initial_em()
+
+    # ------------------------------------------------------------------ #
+    # convenience accessors (the old app attribute names)
+    # ------------------------------------------------------------------ #
+    @property
+    def field_kind(self) -> str:
+        """Field-closure tag: ``"maxwell"``, ``"poisson"``, or ``"none"``."""
+        return self.field.kind
+
+    @property
+    def external(self) -> Optional[ExternalField]:
+        return self.field.external
+
+    @property
+    def _ext_coeffs(self) -> Optional[np.ndarray]:
+        return self.field._ext_coeffs
+
+    @property
+    def field_spec(self):
+        """The Maxwell :class:`~repro.systems.blocks.FieldSpec` (Maxwell
+        field block only)."""
+        return self.field.spec
+
+    @property
+    def maxwell(self):
+        """The bound :class:`~repro.fields.maxwell.MaxwellSolver`
+        (Maxwell field block only)."""
+        if self.field.kind != "maxwell":
+            raise AttributeError(
+                f"no Maxwell solver on a {self.field.kind!r}-closed System"
+            )
+        return self.field.solver
+
+    @property
+    def poisson(self):
+        """The bound :class:`~repro.fields.poisson.Poisson1D` solver
+        (Poisson field block only)."""
+        if self.field.kind != "poisson":
+            raise AttributeError(
+                f"no Poisson solver on a {self.field.kind!r}-closed System"
+            )
+        return self.field.solver
+
+    @property
+    def neutralize(self) -> bool:
+        return self.field.neutralize
+
+    # ------------------------------------------------------------------ #
+    # state plumbing
+    # ------------------------------------------------------------------ #
+    def state(self) -> Dict[str, np.ndarray]:
+        out = {f"f/{sp.name}": self.f[sp.name] for sp in self.species}
+        if self.field.in_state:
+            out["em"] = self.em
+        return out
+
+    def set_state(self, state: Dict[str, np.ndarray]) -> None:
+        for sp in self.species:
+            self.f[sp.name] = state[f"f/{sp.name}"]
+        if self.field.in_state:
+            self.em = state["em"]
+
+    def rhs(
+        self,
+        state: Dict[str, np.ndarray],
+        out: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Full coupled RHS: Vlasov per species + the field block's own
+        time derivative.
+
+        ``out``, when given, is a donated state-shaped buffer dict filled in
+        place (the steady-state path: no phase-space allocation).
+        """
+        em_eff = self.field.em_for_species(self, state)
+        if out is None:
+            out = {k: np.empty_like(v) for k, v in state.items()}
+        for blk in self.blocks:
+            f = state[f"f/{blk.name}"]
+            df = out[f"f/{blk.name}"]
+            blk.solver.rhs(f, em_eff, out=df)
+            if blk.collisions is not None:
+                blk.collisions.rhs(f, blk.moments, out=df, accumulate=True)
+        self.field.accumulate_rhs(self, state, out)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # time advance
+    # ------------------------------------------------------------------ #
+    def suggested_dt(self) -> float:
+        freq = self.field.max_frequency()
+        em_eff = self.field.em_for_species(self, self.state())
+        for blk in self.blocks:
+            freq = max(freq, blk.solver.max_frequency(em_eff))
+            if blk.collisions is not None:
+                freq = max(freq, blk.collisions.max_frequency())
+        return cfl_dt(self.cfl, freq)
+
+    def step(self, dt: Optional[float] = None) -> float:
+        """Advance one step (in place; the state arrays are mutated);
+        returns the dt taken."""
+        if dt is None:
+            dt = self.suggested_dt()
+        state = self.state()
+        if self.field.in_state and not self.field.evolves:
+            # a static field is not stepped: keeps it bitwise frozen and
+            # skips three stage combinations
+            state.pop("em")
+        self.stepper.step_inplace(state, self._rhs_into, dt)
+        self.time += dt
+        self.step_count += 1
+        return dt
+
+    def _rhs_into(
+        self, state: Dict[str, np.ndarray], out: Dict[str, np.ndarray]
+    ) -> None:
+        self.rhs(state, out=out)
+
+    def run(self, t_end: float, diagnostics=None, max_steps: int = 10**9):
+        """Advance to ``t_end``; optional per-step diagnostics callback.
+        Returns a summary with wall-clock timing."""
+        return run_loop(self, t_end, diagnostics=diagnostics, max_steps=max_steps)
+
+    # ------------------------------------------------------------------ #
+    # couplings (legacy method names kept for the Maxwell/Poisson cases)
+    # ------------------------------------------------------------------ #
+    def total_current(
+        self, state: Dict[str, np.ndarray], out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        return self.field.coupling.total_current(self.blocks, state, out=out)
+
+    def total_charge_density(self, state: Dict[str, np.ndarray]) -> np.ndarray:
+        return self.field.coupling.total_charge_density(self.blocks, state)
+
+    def charge_density(self, state: Dict[str, np.ndarray]) -> np.ndarray:
+        return self.field.coupling.charge_density(self.blocks, state)
+
+    def electric_field(self, state: Dict[str, np.ndarray]) -> np.ndarray:
+        return self.field.em_for_species(self, state)
+
+    def effective_em(self, em: np.ndarray) -> np.ndarray:
+        """The field the particles feel: ``em`` plus the external drive at
+        the current step time (``em`` itself when there is no drive).
+        Maxwell field block only — functional closures derive their field
+        from the state via :meth:`electric_field` instead."""
+        if self.field.kind != "maxwell":
+            raise RuntimeError(
+                "effective_em requires a Maxwell field block; use "
+                "electric_field(state) for functional closures"
+            )
+        return self.field.em_for_species(self, {"em": em})
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def field_energy(self) -> float:
+        return self.field.energy(self)
+
+    def particle_energy(self, name: str) -> float:
+        sp = next(s for s in self.species if s.name == name)
+        return self.moments[name].particle_energy(self.f[name], sp.mass)
+
+    def total_energy(self) -> float:
+        return self.field_energy() + sum(
+            self.particle_energy(sp.name) for sp in self.species
+        )
+
+    def particle_number(self, name: str) -> float:
+        return self.moments[name].number(self.f[name])
+
+    def jdote(self) -> float:
+        """Instantaneous field–particle energy exchange ``int J.E dx``
+        (Maxwell field block only)."""
+        if self.field.kind != "maxwell":
+            raise RuntimeError("J.E requires a Maxwell field block")
+        current = self.total_current(self.state())
+        jac = float(np.prod([0.5 * dx for dx in self.conf_grid.dx]))
+        return float(np.sum(current * self.em[..., 0:3, :]) * jac)
+
+    def energies(self) -> Dict[str, float]:
+        """Protocol diagnostic: field, per-species particle, and total energy
+        (each piece computed once)."""
+        field = self.field_energy()
+        out = {"field": field}
+        total = field
+        for sp in self.species:
+            e = self.particle_energy(sp.name)
+            out[f"particle/{sp.name}"] = e
+            total += e
+        out["total"] = total
+        return out
+
+    def observables(self) -> Dict[str, float]:
+        """Protocol diagnostic: scalar observables (particle counts)."""
+        return {
+            f"particle_number/{sp.name}": self.particle_number(sp.name)
+            for sp in self.species
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ",".join(sp.name for sp in self.species)
+        return (
+            f"System({self.name!r}, species=[{names}], field={self.field.kind}, "
+            f"p={self.poly_order}, scheme={self.scheme}, t={self.time:.6g})"
+        )

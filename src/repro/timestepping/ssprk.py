@@ -4,7 +4,8 @@ The paper integrates the semi-discrete system with the three-stage,
 third-order SSP-RK method (Shu–Osher form); forward Euler and SSP-RK2 are
 provided for convergence studies and cost accounting.  Steppers operate on
 *states*: flat dictionaries mapping names to NumPy arrays, combined
-elementwise — this keeps multi-species + field systems in lockstep through
+elementwise — the ``state()`` dicts of the :class:`repro.systems.Model`
+protocol — which keeps multi-species + field systems in lockstep through
 the stages exactly as Gkeyll's App system does.
 
 Two stepping interfaces are provided:
@@ -28,7 +29,14 @@ State = Dict[str, np.ndarray]
 RhsFn = Callable[[State], State]
 RhsIntoFn = Callable[[State, State], None]
 
-__all__ = ["ForwardEuler", "SSPRK2", "SSPRK3", "get_stepper", "state_axpy"]
+__all__ = [
+    "ForwardEuler",
+    "SSPRK2",
+    "SSPRK3",
+    "get_stepper",
+    "available_steppers",
+    "state_axpy",
+]
 
 
 def state_axpy(coeffs_states) -> State:
@@ -168,3 +176,9 @@ def get_stepper(name: str):
         raise ValueError(
             f"unknown stepper {name!r}; choose from {sorted(_STEPPERS)}"
         ) from exc
+
+
+def available_steppers() -> tuple:
+    """Registered stepper names (the single source the spec validates
+    against — previously duplicated as a literal in ``runtime.spec``)."""
+    return tuple(sorted(_STEPPERS))

@@ -24,6 +24,12 @@ def pytest_configure(config):
         "layout: cell-major state-layout invariants (copy-free hot path, "
         "legacy checkpoint compatibility, contiguous halo slabs)",
     )
+    config.addinivalue_line(
+        "markers",
+        "systems: Model-protocol conformance over every registered system "
+        "(state round-trip, rhs donation, checkpoint/resume, serial == "
+        "process:2) plus the public-API snapshot and deprecation shims",
+    )
 
 
 @pytest.fixture(scope="session")

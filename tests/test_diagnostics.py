@@ -82,17 +82,16 @@ def test_field_particle_correlator_sign_structure():
 
 
 def test_energy_history_arrays():
+    """EnergyHistory reads any Model via energies() — no app class needed."""
     h = EnergyHistory()
-    class FakeApp:
+    class FakeModel:
         time = 0.0
-        species = []
-        def field_energy(self):
-            return 1.0
-        def particle_energy(self, name):
-            return 0.0
-    h(FakeApp())
+        def energies(self):
+            return {"field": 1.0, "particle/elc": 0.0, "total": 1.0}
+    h(FakeModel())
     arrs = h.as_arrays()
     assert arrs["total"][0] == 1.0
+    assert list(h.particle_energy) == ["elc"]
     assert h.relative_drift() == 0.0
 
 

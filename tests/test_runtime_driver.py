@@ -1,17 +1,21 @@
-"""Driver: app building, scheduled diagnostics, checkpoint-resume equivalence."""
+"""Driver: system building, scheduled diagnostics, checkpoint-resume equivalence."""
 
 import numpy as np
 import pytest
 
-from repro.apps.vlasov_maxwell import VlasovMaxwellApp
-from repro.apps.vlasov_poisson import VlasovPoissonApp
 from repro.collisions import BGKCollisions, LBOCollisions
 from repro.runtime import Driver, SpecError, build, build_app
+from repro.systems import System
 
 
 def test_build_app_selects_model():
-    assert isinstance(build_app(build("two_stream", nx=4, nv=8)), VlasovPoissonApp)
-    assert isinstance(build_app(build("landau_damping", nx=4, nv=8)), VlasovMaxwellApp)
+    app = build_app(build("two_stream", nx=4, nv=8))
+    assert isinstance(app, System) and app.field_kind == "poisson"
+    app = build_app(build("landau_damping", nx=4, nv=8))
+    assert isinstance(app, System) and app.field_kind == "maxwell"
+    app = build_app(build("advection_1d", nx=4, nv=8))
+    assert isinstance(app, System) and app.field_kind == "none"
+    assert "em" not in app.state()
 
 
 def test_build_app_quadrature_scheme():
@@ -33,16 +37,19 @@ def test_declarative_ic_matches_hand_wired(tmp_path):
     app = build_app(spec)
 
     from repro import FieldSpec, Grid, Species
+    from repro.systems import MaxwellBlock
 
     def initial_f(x, v):
         return (1 + 1e-3 * np.cos(0.5 * x)) * np.exp(-(v**2) / 2) / np.sqrt(2 * np.pi)
 
-    hand = VlasovMaxwellApp(
+    hand = System(
         conf_grid=Grid([0.0], [4 * np.pi], [4]),
         species=[
             Species("elc", -1.0, 1.0, Grid([-6.0], [6.0], [8]), initial_f)
         ],
-        field=FieldSpec(initial={"Ex": lambda x: -1e-3 / 0.5 * np.sin(0.5 * x)}),
+        field=MaxwellBlock(
+            FieldSpec(initial={"Ex": lambda x: -1e-3 / 0.5 * np.sin(0.5 * x)})
+        ),
         poly_order=2,
         cfl=0.6,
     )

@@ -1,0 +1,67 @@
+"""Public-API snapshot: the repro.systems surface cannot drift silently.
+
+Pins ``repro.systems.__all__`` and the Model protocol signature hash.  A
+failure here means the runtime seam changed — that is sometimes right, but
+it must be an explicit, reviewed event: update the snapshot *and* the
+README protocol table together.
+"""
+
+import pytest
+
+import repro.systems as systems
+from repro.systems import protocol_signature
+from repro.systems.model import PROTOCOL_MEMBERS
+
+pytestmark = pytest.mark.systems
+
+EXPECTED_ALL = [
+    "ChargeCoupling",
+    "CurrentCoupling",
+    "ExternalField",
+    "FieldBlock",
+    "FieldSpec",
+    "KineticSpecies",
+    "MaxwellBlock",
+    "Model",
+    "NullFieldBlock",
+    "PoissonBlock",
+    "Species",
+    "System",
+    "SystemKind",
+    "build_external_field",
+    "build_species_blocks",
+    "build_system",
+    "cfl_dt",
+    "get_system_kind",
+    "known_models",
+    "list_system_kinds",
+    "protocol_signature",
+    "register_system",
+    "run_loop",
+]
+
+EXPECTED_PROTOCOL_SIGNATURE = (
+    "c0105b956c97bab6b82d654bef769c8a5d03d16d140d58d19f18fc704699f13e"
+)
+
+
+def test_public_surface_snapshot():
+    assert sorted(systems.__all__) == EXPECTED_ALL
+    for name in systems.__all__:
+        assert hasattr(systems, name), name
+
+
+def test_protocol_signature_snapshot():
+    assert protocol_signature() == EXPECTED_PROTOCOL_SIGNATURE
+
+
+def test_protocol_members_match_class():
+    """Every declared member really exists on the Protocol class."""
+    from repro.systems import Model
+
+    for name, _ in PROTOCOL_MEMBERS:
+        assert name in Model.__annotations__ or hasattr(Model, name), name
+
+
+def test_model_names_are_registered_systems():
+    assert set(systems.known_models()) >= {"maxwell", "poisson", "advection"}

@@ -1,0 +1,77 @@
+"""The old app classes are deprecation shims with unchanged behavior."""
+
+import numpy as np
+import pytest
+
+from repro.grid import Grid
+from repro.systems import FieldSpec, MaxwellBlock, PoissonBlock, Species, System
+
+pytestmark = pytest.mark.systems
+
+K = 0.5
+
+
+def _species(nv=8):
+    def f0(x, v):
+        return (1 + 0.05 * np.cos(K * x)) * np.exp(-(v**2) / 2) / np.sqrt(2 * np.pi)
+
+    return [Species("elc", -1.0, 1.0, Grid([-6.0], [6.0], [nv]), f0)]
+
+
+def _conf():
+    return Grid([0.0], [2 * np.pi / K], [4])
+
+
+def _field_spec():
+    return FieldSpec(initial={"Ex": lambda x: -0.05 / K * np.sin(K * x)})
+
+
+def _run_pair(shim, direct, steps=3):
+    dts = [direct.step() for _ in range(steps)]
+    for dt in dts:
+        shim.step(dt)
+    assert shim.time == direct.time
+    a, b = shim.state(), direct.state()
+    assert set(a) == set(b)
+    for key in a:
+        assert np.array_equal(a[key], b[key]), key
+    assert shim.energies() == direct.energies()
+
+
+def test_vlasov_maxwell_app_warns_and_matches():
+    from repro.apps.vlasov_maxwell import VlasovMaxwellApp
+
+    with pytest.warns(DeprecationWarning, match="VlasovMaxwellApp is deprecated"):
+        shim = VlasovMaxwellApp(_conf(), _species(), _field_spec(), poly_order=1, cfl=0.4)
+    direct = System(
+        _conf(), _species(), field=MaxwellBlock(_field_spec()), poly_order=1, cfl=0.4
+    )
+    assert isinstance(shim, System)
+    assert shim.field_kind == "maxwell"
+    _run_pair(shim, direct)
+
+
+def test_vlasov_poisson_app_warns_and_matches():
+    from repro.apps.vlasov_poisson import VlasovPoissonApp
+
+    with pytest.warns(DeprecationWarning, match="VlasovPoissonApp is deprecated"):
+        shim = VlasovPoissonApp(_conf(), _species(), poly_order=1, cfl=0.4)
+    direct = System(
+        _conf(), _species(), field=PoissonBlock(), poly_order=1, cfl=0.4
+    )
+    assert isinstance(shim, System)
+    assert shim.field_kind == "poisson"
+    assert "em" not in shim.state()
+    _run_pair(shim, direct)
+
+
+def test_poisson_shim_rejects_2d():
+    from repro.apps.vlasov_poisson import VlasovPoissonApp
+
+    def f0(x, y, v):
+        return np.exp(-(v**2))
+
+    sp = [Species("e", -1.0, 1.0, Grid([-2.0], [2.0], [4]), f0)]
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError):
+            VlasovPoissonApp(Grid([0.0, 0.0], [1.0, 1.0], [4, 4]), sp)
