@@ -14,6 +14,13 @@ machine drift cancels):
 
 Results are printed and optionally written as JSON for CI trend tracking.
 
+The engine is additionally measured in both plan-execution modes —
+**fused** (AOT-lowered merged-sweep kernels, the default) and
+**interpreted** (the per-term reference path) — and the JSON records the
+plan-compilation counters of each build (compiles, disk-cache hits/misses,
+kernels built/loaded, compile wall seconds), so a CI pair of cold+warm runs
+can assert the warm run compiled nothing.
+
 Usage::
 
     python benchmarks/bench_rhs_hotpath.py                  # weibel config
@@ -21,6 +28,7 @@ Usage::
     python benchmarks/bench_rhs_hotpath.py --smoke --json bench.json
     python benchmarks/bench_rhs_hotpath.py --require-speedup 2.0
     python benchmarks/bench_rhs_hotpath.py --require-layout-speedup 1.15
+    python benchmarks/bench_rhs_hotpath.py --cache /tmp/plans --require-fused-speedup 1.05
 
 Not collected by pytest (no ``test_`` functions) — run it as a script.
 """
@@ -80,13 +88,14 @@ def _two_stream_maxwell_spec(nx: int, nv: int) -> SimulationSpec:
     )
 
 
-def _build(config: str, smoke: bool, backend: str):
+def _build(config: str, smoke: bool, backend: str, plan_mode: str, cache: str):
+    overrides = {"backend": backend, "plan_mode": plan_mode, "plan_cache": cache}
     if config == "weibel":
         nx, nv = (4, 8) if smoke else (6, 14)
-        spec = build("weibel_2x2v", nx=nx, nv=nv).with_overrides({"backend": backend})
+        spec = build("weibel_2x2v", nx=nx, nv=nv).with_overrides(overrides)
     elif config == "two_stream":
         nx, nv = (8, 16) if smoke else (24, 48)
-        spec = _two_stream_maxwell_spec(nx, nv).with_overrides({"backend": backend})
+        spec = _two_stream_maxwell_spec(nx, nv).with_overrides(overrides)
     else:
         raise SystemExit(f"unknown config {config!r} (weibel, two_stream)")
     return spec, build_app(spec)
@@ -109,6 +118,13 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true", help="tiny sizes / few reps (CI)")
     ap.add_argument("--json", default=None, metavar="PATH", help="write results as JSON")
     ap.add_argument("--backend", default="numpy", help="engine backend to measure")
+    ap.add_argument(
+        "--cache",
+        default="off",
+        help="plan disk cache: off (default — measure pure compiles), auto, "
+        "or a directory; run twice against the same directory to measure "
+        "cold vs warm compilation",
+    )
     ap.add_argument("--repeats", type=int, default=None)
     ap.add_argument("--iters", type=int, default=None)
     ap.add_argument(
@@ -125,12 +141,23 @@ def main(argv=None) -> int:
         help="exit nonzero unless the coupled-RHS speedup over the "
         "mode-major PR 2 engine reaches this factor",
     )
+    ap.add_argument(
+        "--require-fused-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero unless the coupled-RHS speedup of the fused "
+        "plan mode over the interpreted mode reaches this factor",
+    )
     args = ap.parse_args(argv)
+
+    from repro.cas.codegen import select_tier
+    from repro.engine.compile import STATS
 
     repeats = args.repeats or (2 if args.smoke else 5)
     iters = args.iters or (3 if args.smoke else 8)
 
-    spec, app = _build(args.config, args.smoke, args.backend)
+    stats0 = STATS.snapshot()
+    spec, app = _build(args.config, args.smoke, args.backend, "fused", args.cache)
     name = app.species[0].name
     solver = app.solvers[name]
     cdim = app.conf_grid.ndim
@@ -175,11 +202,33 @@ def main(argv=None) -> int:
     mm_solver(f_mm, em_mm, out_mm)
     mm_coupled(state_mm, out_state_mm)
     legacy_coupled(state_mm)
+    plans_fused = STATS.delta(STATS.snapshot(), stats0)
+
+    # the interpreted-mode adversary: same spec, per-term reference plans
+    stats0 = STATS.snapshot()
+    _, app_interp = _build(
+        args.config, args.smoke, args.backend, "interpreted", args.cache
+    )
+    state_interp = app_interp.state()
+    out_state_interp = {k: np.empty_like(v) for k, v in state_interp.items()}
+    app_interp.rhs(state_interp, out=out_state_interp)
+    plans_interp = STATS.delta(STATS.snapshot(), stats0)
+    app.rhs(state, out=out_state)
+    fused_err = max(
+        float(np.max(np.abs(out_state[k] - out_state_interp[k])))
+        for k in out_state
+    ) / scale
+    if fused_err > 2e-15:
+        print(f"FATAL: fused mode deviates from interpreted mode ({fused_err:.2e})")
+        return 1
 
     t_solver_new = _best(lambda: solver.rhs(f, em, out), repeats, iters)
     t_solver_mm = _best(lambda: mm_solver(f_mm, em_mm, out_mm), repeats, iters)
     t_solver_old = _best(lambda: legacy_solver(f_mm, em_mm, out_mm), repeats, iters)
     t_app_new = _best(lambda: app.rhs(state, out=out_state), repeats, iters)
+    t_app_interp = _best(
+        lambda: app_interp.rhs(state_interp, out=out_state_interp), repeats, iters
+    )
     t_app_mm = _best(lambda: mm_coupled(state_mm, out_state_mm), repeats, iters)
     t_app_old = _best(lambda: legacy_coupled(state_mm), repeats, iters)
     dt = app.suggested_dt()
@@ -203,11 +252,17 @@ def main(argv=None) -> int:
         "solver_layout_speedup": t_solver_mm / t_solver_new,
         "coupled_rhs_ms": {
             "engine": 1e3 * t_app_new,
+            "interpreted": 1e3 * t_app_interp,
             "modemajor": 1e3 * t_app_mm,
             "legacy": 1e3 * t_app_old,
         },
         "coupled_rhs_speedup": t_app_old / t_app_new,
         "coupled_layout_speedup": t_app_mm / t_app_new,
+        "fused_speedup": t_app_interp / t_app_new,
+        "fused_rel_err": fused_err,
+        "kernel_tier": select_tier("auto"),
+        "plan_cache": args.cache,
+        "plans": {"fused": plans_fused, "interpreted": plans_interp},
         "step_ms": 1e3 * t_step,
     }
 
@@ -225,6 +280,18 @@ def main(argv=None) -> int:
           f"legacy {1e3*t_app_old:8.2f} ms | "
           f"{result['coupled_rhs_speedup']:.2f}x vs seed, "
           f"{result['coupled_layout_speedup']:.2f}x vs mode-major")
+    print(f"fused mode : {1e3*t_app_new:8.2f} ms | "
+          f"interpreted {1e3*t_app_interp:8.2f} ms | "
+          f"{result['fused_speedup']:.2f}x (tier={result['kernel_tier']}, "
+          f"agreement {fused_err:.1e})")
+    print(f"plan builds: fused compiled {plans_fused['compiled']} "
+          f"hydrated {plans_fused['hydrated']} "
+          f"kernels built {plans_fused['kernels_built']} "
+          f"loaded {plans_fused['kernels_loaded']} "
+          f"({plans_fused['compile_seconds']:.2f}s); "
+          f"interpreted compiled {plans_interp['compiled']} "
+          f"hydrated {plans_interp['hydrated']} "
+          f"({plans_interp['compile_seconds']:.2f}s)")
     print(f"full SSP-RK3 step: {1e3*t_step:.2f} ms")
 
     if args.json:
@@ -246,6 +313,13 @@ def main(argv=None) -> int:
             rc = 1
         else:
             print(f"OK: layout speedup >= {args.require_layout_speedup}x")
+    if args.require_fused_speedup is not None:
+        if result["fused_speedup"] < args.require_fused_speedup:
+            print(f"FAIL: fused speedup {result['fused_speedup']:.2f}x "
+                  f"< required {args.require_fused_speedup}x")
+            rc = 1
+        else:
+            print(f"OK: fused speedup >= {args.require_fused_speedup}x")
     return rc
 
 

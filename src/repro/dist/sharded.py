@@ -66,6 +66,12 @@ class _ShardWorker:
         self.shared = shared
         self.rho_shared = rho_shared
         self.barrier = barrier
+        # plan-compilation counters forked from the parent are the parent's
+        # history; this worker's own contribution is the delta from here
+        from ..engine.compile import STATS as _PLAN_STATS
+
+        self._plan_stats = _PLAN_STATS
+        self._plan_stats0 = _PLAN_STATS.snapshot()
         field_kind = getattr(app, "field_kind", "maxwell")
         self.is_poisson = field_kind == "poisson"
         self.has_em = field_kind == "maxwell"
@@ -126,7 +132,13 @@ class _ShardWorker:
 
     # ------------------------------------------------------------------ #
     def stats_payload(self) -> dict:
-        return {"f": self.stats_f.as_dict(), "em": self.stats_em.as_dict()}
+        return {
+            "f": self.stats_f.as_dict(),
+            "em": self.stats_em.as_dict(),
+            "plans": self._plan_stats.delta(
+                self._plan_stats.snapshot(), self._plan_stats0
+            ),
+        }
 
     def _read_state(self) -> None:
         """Halo phase: refresh padded inputs from the shared global state —
@@ -286,7 +298,7 @@ def _worker_main(app, plan, shard, shared, rho_shared, barrier, conn) -> None:
     ).start()
     try:
         worker = _ShardWorker(app, plan, shard, shared, rho_shared, barrier)
-        conn.send(("ready", None))
+        conn.send(("ready", worker.stats_payload()))
     except Exception:  # noqa: BLE001 - reported to the parent
         conn.send(("error", traceback.format_exc()))
         return
@@ -438,7 +450,7 @@ class ShardedApp:
             self, _shutdown, self._procs, self._conns, self._segments
         )
         self.shard_stats: List[dict] = [
-            {"f": HaloStats().as_dict(), "em": HaloStats().as_dict()}
+            {"f": HaloStats().as_dict(), "em": HaloStats().as_dict(), "plans": {}}
             for _ in range(self.nshards)
         ]
         for shard, conn in enumerate(self._conns):
@@ -446,6 +458,8 @@ class ShardedApp:
             if kind != "ready":
                 self.close()
                 raise RuntimeError(f"shard {shard} failed to start:\n{payload}")
+            if payload:
+                self.shard_stats[shard] = payload
 
     # ------------------------------------------------------------------ #
     def _alloc(self, arr: np.ndarray) -> np.ndarray:
@@ -542,6 +556,12 @@ class ShardedApp:
             "doubles": total_f.doubles + total_em.doubles,
             "bytes": total_f.bytes + total_em.bytes,
         }
+
+    def plan_stats(self) -> List[dict]:
+        """Per-worker plan-compilation counter deltas (each worker compiles
+        its own block plans after forking; a warm disk cache shows up here
+        as ``hydrated`` instead of ``compiled``)."""
+        return [dict(entry.get("plans", {})) for entry in self.shard_stats]
 
     def close(self) -> None:
         """Stop the workers and release the shared segments (idempotent).

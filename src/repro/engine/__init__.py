@@ -40,7 +40,25 @@ from .layout import (
     phase_to_cell_major,
     phase_to_mode_major,
 )
-from .plan import ExecutionPlan, PlanSignatureError, aux_signature, classify_aux_value
+from .compile import (
+    CompilerConfig,
+    CompileStats,
+    STATS,
+    active_config,
+    compile_plan,
+    compiler_config,
+    configure,
+    configure_from_spec,
+)
+from .fused import FusedPlan
+from .plan import (
+    ExecutionPlan,
+    PlanSignatureError,
+    aux_signature,
+    classify_aux_value,
+    plan_digest,
+)
+from .plancache import PlanCache, default_cache_dir, resolve_cache_root
 from .pool import ScratchPool
 
 __all__ = [
@@ -51,9 +69,22 @@ __all__ = [
     "register_backend",
     "available_backends",
     "ExecutionPlan",
+    "FusedPlan",
     "PlanSignatureError",
     "aux_signature",
     "classify_aux_value",
+    "plan_digest",
+    "CompilerConfig",
+    "CompileStats",
+    "STATS",
+    "active_config",
+    "configure",
+    "configure_from_spec",
+    "compiler_config",
+    "compile_plan",
+    "PlanCache",
+    "default_cache_dir",
+    "resolve_cache_root",
     "ScratchPool",
     "StateLayout",
     "phase_to_cell_major",

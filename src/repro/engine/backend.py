@@ -97,13 +97,19 @@ class NumpyBackend(ArrayBackend):
 
     name = "numpy"
 
+    def __init__(self):
+        # staging buffers for batched accumulation, keyed by shape; owned by
+        # the (sequential) caller — the threaded subclass never routes its
+        # concurrent chunks through them
+        self._acc_scratch: Dict[Tuple[int, ...], np.ndarray] = {}
+
     def gemm(self, a, b, out):
         return np.matmul(a, b, out=out)
 
     def batched_gemm(self, a, b, out):
         return np.matmul(a, b, out=out)
 
-    def batched_gemm_acc(self, a, b, out):
+    def _acc_dgemm_loop(self, a, b, out):
         """``out[i] += a[i] @ b[i]`` in place (no staging buffer).
 
         Runs the transposed problem ``out[i].T += b[i].T @ a[i].T`` through
@@ -125,6 +131,27 @@ class NumpyBackend(ArrayBackend):
             _dgemm(1.0, b[i].T, ai.T, beta=1.0, c=out[i].T, overwrite_c=True)
         return out
 
+    def batched_gemm_acc(self, a, b, out):
+        """``out[i] += a[i] @ b[i]``, staged through a persistent scratch.
+
+        For a batched (3-D) ``a``, one ``np.matmul`` into scratch plus an
+        in-place add beats a per-cell ``dgemm(beta=1)`` loop on the small
+        per-cell blocks the plans produce (one gufunc dispatch instead of
+        ``ncells`` BLAS calls).  A broadcast 2-D ``a`` keeps the dgemm loop
+        — there matmul re-reads ``a`` per batch item and loses.
+        """
+        if a.ndim != 3 or out.dtype != np.float64:
+            return self._acc_dgemm_loop(a, b, out)
+        key = out.shape
+        tmp = self._acc_scratch.get(key)
+        if tmp is None:
+            if len(self._acc_scratch) >= 8:
+                self._acc_scratch.pop(next(iter(self._acc_scratch)))
+            tmp = self._acc_scratch[key] = np.empty(key)
+        np.matmul(a, b, out=tmp)
+        out += tmp
+        return out
+
 
 class ThreadedBackend(NumpyBackend):
     """Chunks large products across a persistent thread pool.
@@ -139,6 +166,7 @@ class ThreadedBackend(NumpyBackend):
     name = "threaded"
 
     def __init__(self, workers: Optional[int] = None, min_work: int = 1 << 18):
+        super().__init__()
         if workers is None:
             self.workers = min(8, os.cpu_count() or 1)
         else:
@@ -209,7 +237,9 @@ class ThreadedBackend(NumpyBackend):
             return super().batched_gemm_acc(a, b, out)
         step = -(-nbatch // self.workers)
         a_batched = a.ndim == 3
-        acc = super().batched_gemm_acc
+        # per-chunk in-place dgemm accumulation: thread-safe (no shared
+        # staging buffer) and GIL-releasing inside each chunk
+        acc = self._acc_dgemm_loop
         self._run_chunks(
             [
                 (
@@ -239,6 +269,7 @@ class ProcessBackend(NumpyBackend):
     name = "process"
 
     def __init__(self, shards: Optional[int] = None):
+        super().__init__()
         if shards is None:
             shards = os.cpu_count() or 1
         self.shards = int(shards)

@@ -1,0 +1,255 @@
+"""The plan-compilation seam: interpreted vs fused, memory vs disk.
+
+Every plan the engine builds — :class:`~repro.kernels.grouped.GroupedOperator`
+misses, sharded worker blocks, campaign fleet members — routes through
+:func:`compile_plan`, which makes three decisions per plan key
+(termset content, aux signature, cell shape):
+
+1. **Disk cache**: when a cache root is configured, the key is hashed
+   (:func:`repro.engine.plan.plan_digest`) and a stored payload is
+   hydrated via :meth:`ExecutionPlan.from_artifacts` — bit-identical to a
+   fresh compile, skipping the symbol analysis and SVD factorization.  Any
+   load failure (missing, stale, corrupt) falls back to compiling and
+   re-publishing atomically.
+2. **Execution mode**: ``fused`` (default) wraps the plan in a
+   :class:`~repro.engine.fused.FusedPlan` — AOT-lowered merged sweeps and
+   vectorized coefficient assembly; ``interpreted`` returns the plan as-is
+   (the PR 4 reference path, and the adversary in the equivalence tests).
+3. **Kernel tier** (fused mode): ``numba`` jit of the emitted sweep source
+   when importable, the vectorized ``numpy`` tier otherwise
+   (:func:`repro.cas.codegen.select_tier`).
+
+Configuration is process-global (set from ``SimulationSpec`` by the runtime
+driver, from the environment for library use) because plan identity is
+process-global too; :func:`compiler_config` scopes overrides for tests.
+Every decision increments :data:`STATS`, the counter block surfaced in
+``Driver.summary()["plans"]`` and the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple, Union
+
+from ..kernels.termset import AuxValue, TermSet
+from .backend import ArrayBackend
+from .fused import FusedPlan
+from .plan import ExecutionPlan, aux_signature, plan_digest
+from .plancache import PlanCache, resolve_cache_root
+from .pool import ScratchPool
+
+__all__ = [
+    "CompilerConfig",
+    "CompileStats",
+    "STATS",
+    "active_config",
+    "configure",
+    "configure_from_spec",
+    "compiler_config",
+    "compile_plan",
+]
+
+PLAN_MODES = ("fused", "interpreted")
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """How plans are compiled and executed in this process.
+
+    ``cache`` follows :func:`~repro.engine.plancache.resolve_cache_root`
+    semantics: ``None``/``"off"`` disable the disk cache (the library
+    default — bare operators never touch the filesystem), ``"auto"``
+    selects ``$REPRO_CACHE_DIR`` or ``~/.cache/repro`` (the runtime-driver
+    default), any other string is a cache directory.
+    """
+
+    mode: str = "fused"
+    tier: str = "auto"
+    cache: Optional[str] = None
+
+
+def _env_default() -> CompilerConfig:
+    return CompilerConfig(
+        mode=os.environ.get("REPRO_PLAN_MODE", "fused"),
+        tier=os.environ.get("REPRO_KERNEL_TIER", "auto"),
+        cache=os.environ.get("REPRO_PLAN_CACHE"),
+    )
+
+
+_config = _env_default()
+
+
+def active_config() -> CompilerConfig:
+    return _config
+
+
+def configure(
+    mode: Optional[str] = None,
+    tier: Optional[str] = None,
+    cache: Optional[str] = None,
+) -> CompilerConfig:
+    """Update the process-global compiler configuration (None = keep)."""
+    global _config
+    updates = {}
+    if mode is not None:
+        if mode not in PLAN_MODES:
+            raise ValueError(
+                f"unknown plan mode {mode!r} (known: {', '.join(PLAN_MODES)})"
+            )
+        updates["mode"] = mode
+    if tier is not None:
+        updates["tier"] = tier
+    if cache is not None:
+        updates["cache"] = cache
+    _config = replace(_config, **updates)
+    return _config
+
+
+def configure_from_spec(spec) -> CompilerConfig:
+    """Adopt a spec's ``plan_mode``/``plan_cache`` (the driver calls this
+    before building the app, so every plan of the run — including the ones
+    sharded workers compile after forking — follows the spec)."""
+    return configure(mode=spec.plan_mode, cache=spec.plan_cache)
+
+
+@contextmanager
+def compiler_config(
+    mode: Optional[str] = None,
+    tier: Optional[str] = None,
+    cache: Optional[str] = None,
+):
+    """Scoped configuration override (tests, benchmarks)."""
+    global _config
+    saved = _config
+    try:
+        configure(mode=mode, tier=tier, cache=cache)
+        yield _config
+    finally:
+        _config = saved
+
+
+# --------------------------------------------------------------------- #
+class CompileStats:
+    """Process-global plan-compilation counters.
+
+    ``compiled`` counts real ``ExecutionPlan`` compilations (a warm-cache
+    run reports zero); ``hydrated`` counts disk-cache loads;
+    ``cache_misses`` includes corrupt/stale payloads that fell back to a
+    compile.  ``compile_seconds`` is the wall time spent inside
+    :func:`compile_plan` either way.
+    """
+
+    FIELDS = (
+        "compiled",
+        "hydrated",
+        "cache_hits",
+        "cache_misses",
+        "cache_stores",
+        "fused",
+        "interpreted",
+        "kernels_built",
+        "kernels_loaded",
+        "compile_seconds",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.compiled = 0
+        self.hydrated = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stores = 0
+        self.fused = 0
+        self.interpreted = 0
+        self.kernels_built = 0
+        self.kernels_loaded = 0
+        self.compile_seconds = 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    @staticmethod
+    def delta(
+        after: Dict[str, float], before: Dict[str, float]
+    ) -> Dict[str, float]:
+        return {k: after[k] - before.get(k, 0) for k in after}
+
+
+STATS = CompileStats()
+
+
+# --------------------------------------------------------------------- #
+def compile_plan(
+    termset: TermSet,
+    cdim: int,
+    vdim: int,
+    aux: Dict[str, AuxValue],
+    cell_shape: Tuple[int, ...],
+    backend: Union[str, ArrayBackend, None] = None,
+    pool: Optional[ScratchPool] = None,
+) -> Union[ExecutionPlan, FusedPlan]:
+    """Compile (or hydrate) the plan for one plan key, per the active
+    configuration.  The returned object satisfies the plan protocol
+    (``apply``, ``stats``, ``signature``, ...) in either mode."""
+    cfg = _config
+    t0 = time.perf_counter()
+    root = resolve_cache_root(cfg.cache)
+    plan: Optional[ExecutionPlan] = None
+    digest = None
+    cache = None
+    if root is not None:
+        names = sorted({n for sym in termset.entries_by_symbol() for n in sym})
+        signature = aux_signature(names, aux, cdim, vdim)
+        digest = plan_digest(termset, cdim, vdim, signature, cell_shape)
+        cache = PlanCache(root)
+        payload = cache.load(digest)
+        if payload is not None:
+            try:
+                plan = ExecutionPlan.from_artifacts(
+                    termset,
+                    cdim,
+                    vdim,
+                    aux,
+                    cell_shape,
+                    payload[0],
+                    payload[1],
+                    backend=backend,
+                    pool=pool,
+                )
+                STATS.cache_hits += 1
+                STATS.hydrated += 1
+            except Exception:
+                # stale or damaged payload: recompile and overwrite below
+                plan = None
+        if plan is None:
+            STATS.cache_misses += 1
+    if plan is None:
+        plan = ExecutionPlan(
+            termset, cdim, vdim, aux, cell_shape, backend=backend, pool=pool
+        )
+        STATS.compiled += 1
+        if cache is not None and digest is not None:
+            meta, arrays = plan.to_artifacts()
+            if cache.store(digest, meta, arrays):
+                STATS.cache_stores += 1
+    if cfg.mode == "fused":
+        STATS.fused += 1
+        result: Union[ExecutionPlan, FusedPlan] = FusedPlan(
+            plan,
+            tier=cfg.tier,
+            kernel_dir=str(root) if root is not None else None,
+        )
+        if result.kernel_status == "built":
+            STATS.kernels_built += 1
+        elif result.kernel_status == "loaded":
+            STATS.kernels_loaded += 1
+    else:
+        STATS.interpreted += 1
+        result = plan
+    STATS.compile_seconds += time.perf_counter() - t0
+    return result

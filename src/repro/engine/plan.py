@@ -39,6 +39,8 @@ hazard.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -46,11 +48,13 @@ import scipy.sparse as sp
 
 from ..kernels.termset import AuxValue, Symbol, TermSet, csr_accumulate
 from .backend import ArrayBackend, get_backend
+from .plancache import ARTIFACT_VERSION
 from .pool import ScratchPool
 
 __all__ = [
     "classify_aux_value",
     "aux_signature",
+    "plan_digest",
     "ExecutionPlan",
     "PlanSignatureError",
 ]
@@ -104,6 +108,39 @@ def aux_signature(
     return tuple(out)
 
 
+def plan_digest(
+    termset: TermSet,
+    cdim: int,
+    vdim: int,
+    signature: Signature,
+    cell_shape: Tuple[int, ...],
+) -> str:
+    """Content digest of one compiled-plan identity.
+
+    Hashes exactly the inputs plan compilation is a pure function of — the
+    termset's symbolic entries (coefficients bit-exact via ``float.hex``),
+    the phase split, the aux signature, and the cell shape — plus the
+    artifact format version, so a layout change invalidates every cached
+    entry.  Two plans with equal digests compile to identical artifacts.
+    """
+    h = hashlib.sha256()
+    head = {
+        "format": ARTIFACT_VERSION,
+        "cdim": int(cdim),
+        "vdim": int(vdim),
+        "nout": termset.nout,
+        "nin": termset.nin,
+        "cell_shape": [int(n) for n in cell_shape],
+        "signature": [[name, tok] for name, tok in signature],
+    }
+    h.update(json.dumps(head, sort_keys=True).encode())
+    for sym, triples in sorted(termset.entries_by_symbol().items()):
+        h.update(repr(tuple(sym)).encode())
+        for l, m, coeff in triples:
+            h.update(f"{l},{m},{float(coeff).hex()};".encode())
+    return h.hexdigest()
+
+
 def _scalar_value(val: AuxValue) -> float:
     if type(val) is float or np.isscalar(val):
         return float(val)
@@ -126,9 +163,10 @@ class _UniformGroup:
     def __init__(self, vel_names: Tuple[str, ...]):
         self.vel_names = vel_names
         # each term: (scalar_names, batched kron csr, preallocated
-        #             scaled-data buffer for the kron data)
+        #             scaled-data buffer for the kron data, per-cell csr —
+        #             kept for serialization and the fused lowering)
         self.terms: List[
-            Tuple[Tuple[str, ...], sp.csr_matrix, np.ndarray]
+            Tuple[Tuple[str, ...], sp.csr_matrix, np.ndarray, sp.csr_matrix]
         ] = []
 
 
@@ -175,6 +213,19 @@ class ExecutionPlan:
         backend: Optional[ArrayBackend] = None,
         pool: Optional[ScratchPool] = None,
     ):
+        self._setup(termset, cdim, vdim, aux, cell_shape, backend, pool)
+        self._compile(dict(self.signature))
+
+    def _setup(
+        self,
+        termset: TermSet,
+        cdim: int,
+        vdim: int,
+        aux: Dict[str, AuxValue],
+        cell_shape: Tuple[int, ...],
+        backend: Optional[ArrayBackend],
+        pool: Optional[ScratchPool],
+    ) -> None:
         self.termset = termset
         self.cdim = int(cdim)
         self.vdim = int(vdim)
@@ -192,7 +243,32 @@ class ExecutionPlan:
         self.pool = pool if pool is not None else ScratchPool()
         self.names = sorted({n for sym in termset.entries_by_symbol() for n in sym})
         self.signature = aux_signature(self.names, aux, self.cdim, self.vdim)
-        self._compile(dict(self.signature))
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        termset: TermSet,
+        cdim: int,
+        vdim: int,
+        aux: Dict[str, AuxValue],
+        cell_shape: Tuple[int, ...],
+        meta: dict,
+        arrays: Dict[str, np.ndarray],
+        backend: Optional[ArrayBackend] = None,
+        pool: Optional[ScratchPool] = None,
+    ) -> "ExecutionPlan":
+        """Rebuild a plan from serialized artifacts instead of compiling.
+
+        The stored metadata must match the identity this plan would compile
+        to (signature, shapes); mismatches raise ``ValueError`` so callers
+        treat stale payloads as cache misses.  Hydration skips the analysis
+        and the SVD factorization entirely — the expensive parts of
+        ``_compile`` — and is bit-identical to a fresh compile.
+        """
+        self = cls.__new__(cls)
+        self._setup(termset, cdim, vdim, aux, cell_shape, backend, pool)
+        self._hydrate(meta, arrays)
+        return self
 
     # ------------------------------------------------------------------ #
     def _compile(self, tokens: Dict[str, str]) -> None:
@@ -241,6 +317,7 @@ class ExecutionPlan:
                         tuple(scalar_names),
                         bmat,
                         np.empty_like(bmat.data) if scalar_names else None,
+                        mat,
                     )
                 )
         for key, grp in cfg_groups.items():
@@ -299,6 +376,132 @@ class ExecutionPlan:
             grp.mats = None  # the dense stack is fully replaced by its factors
             start += n
         self._fact = (u, vt, r_out, r_in)
+
+    # ------------------------------------------------------------------ #
+    def to_artifacts(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Serialize the compiled operator blocks to ``(meta, arrays)``.
+
+        The payload holds everything ``_compile`` + ``_factorize_cfg``
+        produce that is expensive or non-trivial to rebuild: per-cell
+        sparse blocks (the kron expansion is cheap and cell-count-bound,
+        so only the per-cell form is stored), dense stacks or their
+        low-rank ``hat`` factors, and the shared ``U``/``V^T`` factors.
+        Symbol structure and the fallback's entries come back from the
+        termset, which the loader always has in hand.
+        """
+        meta: dict = {
+            "nout": self.nout,
+            "nin": self.nin,
+            "cdim": self.cdim,
+            "vdim": self.vdim,
+            "cell_shape": [int(n) for n in self.cell_shape],
+            "signature": [[name, tok] for name, tok in self.signature],
+            "uniform": [],
+            "cfg": [],
+            "fact": None,
+            "fallback_syms": [],
+        }
+        arrays: Dict[str, np.ndarray] = {}
+        for gi, grp in enumerate(self._uniform):
+            meta["uniform"].append(
+                {
+                    "vel_names": list(grp.vel_names),
+                    "terms": [list(t[0]) for t in grp.terms],
+                }
+            )
+            for tj, (_sn, _bmat, _dbuf, mat) in enumerate(grp.terms):
+                arrays[f"u{gi}t{tj}d"] = mat.data
+                arrays[f"u{gi}t{tj}i"] = mat.indices
+                arrays[f"u{gi}t{tj}p"] = mat.indptr
+        for gi, grp in enumerate(self._cfg):
+            meta["cfg"].append(
+                {
+                    "vel_names": list(grp.vel_names),
+                    "items": [
+                        [list(sn), list(cn)] for sn, cn in grp.items
+                    ],
+                    "kind": "hat" if grp.hat is not None else "mats",
+                }
+            )
+            arrays[f"c{gi}"] = grp.hat if grp.hat is not None else grp.mats
+        if self._fact is not None:
+            u, vt, r_out, r_in = self._fact
+            meta["fact"] = [int(r_out), int(r_in)]
+            arrays["factu"] = u
+            arrays["factvt"] = vt
+        if self._fallback is not None:
+            meta["fallback_syms"] = [
+                list(sym) for sym in self._fallback.entries_by_symbol()
+            ]
+        return meta, arrays
+
+    def _hydrate(self, meta: dict, arrays: Dict[str, np.ndarray]) -> None:
+        """Rebuild the compiled state from :meth:`to_artifacts` output."""
+        if (
+            meta.get("nout") != self.nout
+            or meta.get("nin") != self.nin
+            or meta.get("cdim") != self.cdim
+            or meta.get("vdim") != self.vdim
+            or tuple(meta.get("cell_shape", ())) != self.cell_shape
+            or tuple(tuple(p) for p in meta.get("signature", ()))
+            != self.signature
+        ):
+            raise ValueError("stored plan artifacts do not match this plan key")
+        entries = self.termset.entries_by_symbol()
+        self._uniform = []
+        for gi, gmeta in enumerate(meta["uniform"]):
+            grp = _UniformGroup(tuple(gmeta["vel_names"]))
+            for tj, scalar_names in enumerate(gmeta["terms"]):
+                mat = sp.csr_matrix(
+                    (
+                        arrays[f"u{gi}t{tj}d"],
+                        arrays[f"u{gi}t{tj}i"],
+                        arrays[f"u{gi}t{tj}p"],
+                    ),
+                    shape=(self.nout, self.nin),
+                )
+                bmat = sp.kron(
+                    sp.identity(self.ncfg, format="csr"), mat, format="csr"
+                )
+                grp.terms.append(
+                    (
+                        tuple(scalar_names),
+                        bmat,
+                        np.empty_like(bmat.data) if scalar_names else None,
+                        mat,
+                    )
+                )
+            self._uniform.append(grp)
+        self._cfg = []
+        fact_meta = meta.get("fact")
+        for gi, gmeta in enumerate(meta["cfg"]):
+            grp = _CfgGroup(tuple(gmeta["vel_names"]))
+            grp.items = [
+                (tuple(sn), tuple(cn)) for sn, cn in gmeta["items"]
+            ]
+            block = np.ascontiguousarray(arrays[f"c{gi}"], dtype=float)
+            if gmeta["kind"] == "hat":
+                grp.hat = block
+            else:
+                grp.mats = block
+            self._cfg.append(grp)
+        if fact_meta is not None:
+            r_out, r_in = int(fact_meta[0]), int(fact_meta[1])
+            self._fact = (
+                np.ascontiguousarray(arrays["factu"], dtype=float),
+                np.ascontiguousarray(arrays["factvt"], dtype=float),
+                r_out,
+                r_in,
+            )
+        else:
+            self._fact = None
+        fb_syms = [tuple(sym) for sym in meta.get("fallback_syms", [])]
+        if fb_syms:
+            self._fallback = TermSet(
+                self.nout, self.nin, {sym: entries[sym] for sym in fb_syms}
+            )
+        else:
+            self._fallback = None
 
     # ------------------------------------------------------------------ #
     def ensure_signature(self, aux: Dict[str, AuxValue]) -> None:
@@ -402,7 +605,7 @@ class ExecutionPlan:
             else:
                 x2 = fin.reshape(self.ncfg * self.nin, self.nvel)
             y2 = out.reshape(self.ncfg * self.nout, self.nvel)
-            for scalar_names, bmat, dbuf in grp.terms:
+            for scalar_names, bmat, dbuf, _mat in grp.terms:
                 if scalar_names:
                     c = 1.0
                     for name in scalar_names:

@@ -9,6 +9,14 @@ Subcommands::
     repro resume <checkpoint.npz>      # continue an interrupted run
     repro campaign <file.json>         # parameter-scan batch runner
     repro worker <manifest-dir>        # claim campaign entries (lease-based)
+    repro plans list|clear|warm        # inspect/manage the compiled-plan cache
+
+The compiled-plan disk cache (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``)
+is controlled per run through the spec: ``--set plan_cache=off`` disables
+it, ``--set plan_cache=/some/dir`` redirects it, and
+``--set plan_mode=interpreted`` bypasses fused kernels entirely.
+``repro plans warm <scenario>`` pre-compiles and stores a scenario's plans
+so subsequent runs (including sharded workers) start warm.
 
 ``--set key=val`` accepts scenario parameters (``drift=1.5``), spec fields
 (``cfl=0.5``, ``steps=10``) and dotted spec paths
@@ -197,6 +205,77 @@ def _cmd_worker(args) -> int:
     return 1 if summary["failed"] else 0
 
 
+def _plans_cache(setting: str):
+    from ..engine.plancache import PlanCache, resolve_cache_root
+
+    root = resolve_cache_root(setting)
+    if root is None:
+        raise SpecError("--cache", "the plan cache is disabled ('off')")
+    return PlanCache(root)
+
+
+def _cmd_plans_list(args) -> int:
+    cache = _plans_cache(args.cache)
+    entries = cache.entries()
+    kernels = cache.kernels()
+    if args.json:
+        print(json.dumps({
+            "root": str(cache.root),
+            "plans": entries,
+            "kernels": [str(p) for p in kernels],
+        }, indent=2))
+        return 0
+    print(f"cache root : {cache.root}")
+    total = sum(e.get("bytes", 0) for e in entries)
+    print(f"plans      : {len(entries)} entries, {total} bytes")
+    for e in entries:
+        if e["status"] == "ok":
+            detail = f"{e['nout']}x{e['nin']}  cells={e['cell_shape']}"
+        else:
+            detail = e["status"]
+        print(f"  {e['digest'][:16]}  {e.get('bytes', 0):>9}  {detail}")
+    print(f"kernels    : {len(kernels)} compiled objects")
+    for p in kernels:
+        print(f"  {p.name}")
+    return 0
+
+
+def _cmd_plans_clear(args) -> int:
+    cache = _plans_cache(args.cache)
+    removed = cache.clear()
+    print(f"removed {removed} plan entries from {cache.root}")
+    return 0
+
+
+def _cmd_plans_warm(args) -> int:
+    """Compile (and store) every plan a scenario's RHS needs, so later runs
+    — serial drivers, sharded parents — hydrate instead of compiling."""
+    import numpy as np
+
+    from ..engine.compile import STATS
+    from .driver import build_app
+
+    cache = _plans_cache(args.cache)
+    overrides = _parse_set(args.set)
+    # plans only exist per cell shape, so warm with the serial (numpy)
+    # backend: that is the shape drivers and sharded parents compile for
+    overrides["backend"] = "numpy"
+    overrides["plan_cache"] = str(cache.root)
+    spec = build(args.scenario, **overrides)
+    before = STATS.snapshot()
+    app = build_app(spec)
+    state = app.state()
+    out = {k: np.empty_like(v) for k, v in state.items()}
+    app.rhs(state, out=out)
+    delta = STATS.delta(STATS.snapshot(), before)
+    print(
+        f"warmed {args.scenario!r}: compiled {delta['compiled']}, "
+        f"hydrated {delta['hydrated']}, stored {delta['cache_stores']}, "
+        f"kernels built {delta['kernels_built']} (cache: {cache.root})"
+    )
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -278,6 +357,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-points", type=int, default=None, help="stop after N claims"
     )
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_plans = sub.add_parser(
+        "plans", help="inspect or manage the compiled-plan disk cache"
+    )
+    plans_sub = p_plans.add_subparsers(dest="action", required=True)
+    pp_list = plans_sub.add_parser("list", help="inventory the cache")
+    pp_list.add_argument(
+        "--cache", default="auto",
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    pp_list.add_argument("--json", action="store_true")
+    pp_list.set_defaults(func=_cmd_plans_list)
+    pp_clear = plans_sub.add_parser(
+        "clear", help="remove every cached plan and compiled kernel"
+    )
+    pp_clear.add_argument("--cache", default="auto")
+    pp_clear.set_defaults(func=_cmd_plans_clear)
+    pp_warm = plans_sub.add_parser(
+        "warm", help="pre-compile and store a scenario's plans"
+    )
+    pp_warm.add_argument("scenario")
+    pp_warm.add_argument("--set", action="append", default=[], metavar="KEY=VAL")
+    pp_warm.add_argument("--cache", default="auto")
+    pp_warm.set_defaults(func=_cmd_plans_warm)
     return parser
 
 

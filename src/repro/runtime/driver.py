@@ -41,12 +41,20 @@ def build_app(spec: SimulationSpec):
     """Instantiate the :class:`~repro.systems.system.System` described by
     ``spec`` (ICs projected, t=0).
 
+    The spec's ``plan_mode``/``plan_cache`` are adopted as the process-global
+    compiler configuration *before* anything compiles, so every plan of the
+    run — including plans sharded workers compile after forking — follows
+    the spec.
+
     A ``process[:N]`` backend returns the serial system wrapped in a
     :class:`repro.dist.ShardedApp`: construction forks N persistent worker
     processes that execute the steps over shared-memory state, while the
     returned object keeps the full Model protocol (diagnostics, checkpoint
     gather/scatter, CFL) bit-identical to a serial run.
     """
+    from ..engine.compile import configure_from_spec
+
+    configure_from_spec(spec)
     return _maybe_shard(build_system(spec), spec)
 
 
@@ -97,6 +105,11 @@ class Driver:
         self.spec = spec.validate()
         self.outdir = Path(outdir) if outdir is not None else None
         self.wall_clock_budget = wall_clock_budget
+        # plan-compilation counters are process-global; summary() reports
+        # this driver's contribution as the delta from here
+        from ..engine.compile import STATS as _PLAN_STATS
+
+        self._plan_stats0 = _PLAN_STATS.snapshot()
         self.app = build_app(self.spec)
         self.history = EnergyHistory(record_jdote=spec.diagnostics.record_jdote)
         self.wall_time = 0.0
@@ -312,4 +325,15 @@ class Driver:
         }
         if self.history.times:
             out["energy_drift"] = self.history.relative_drift()
+        from ..engine.compile import STATS as _PLAN_STATS
+
+        plans = _PLAN_STATS.delta(_PLAN_STATS.snapshot(), self._plan_stats0)
+        worker_stats = getattr(app, "plan_stats", None)
+        if callable(worker_stats):
+            # sharded runs: fold in the counters the forked workers report
+            # (their compiles happen in child processes, not this one)
+            for payload in worker_stats():
+                for key, val in payload.items():
+                    plans[key] = plans.get(key, 0) + val
+        out["plans"] = plans
         return out

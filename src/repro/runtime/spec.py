@@ -383,6 +383,12 @@ class SimulationSpec:
     scheme: str = "modal"
     stepper: str = "ssp-rk3"
     backend: str = "numpy"
+    #: plan execution mode: ``"fused"`` (AOT-lowered kernels, the default)
+    #: or ``"interpreted"`` (the reference per-term path)
+    plan_mode: str = "fused"
+    #: plan/kernel disk cache: ``"auto"`` ($REPRO_CACHE_DIR or
+    #: ``~/.cache/repro``), ``"off"``, or an explicit directory
+    plan_cache: str = "auto"
     t_end: float = 10.0
     steps: Optional[int] = None
     epsilon0: float = 1.0
@@ -391,7 +397,8 @@ class SimulationSpec:
 
     _FIELDS = (
         "name", "model", "conf_grid", "species", "field", "external_field",
-        "poly_order", "family", "cfl", "scheme", "stepper", "backend", "t_end",
+        "poly_order", "family", "cfl", "scheme", "stepper", "backend",
+        "plan_mode", "plan_cache", "t_end",
         "steps", "epsilon0", "neutralize", "diagnostics",
     )
 
@@ -412,6 +419,8 @@ class SimulationSpec:
             "scheme": self.scheme,
             "stepper": self.stepper,
             "backend": self.backend,
+            "plan_mode": self.plan_mode,
+            "plan_cache": self.plan_cache,
             "t_end": self.t_end,
             "steps": self.steps,
             "epsilon0": self.epsilon0,
@@ -459,6 +468,8 @@ class SimulationSpec:
             scheme=data.get("scheme", "modal"),
             stepper=data.get("stepper", "ssp-rk3"),
             backend=data.get("backend", "numpy"),
+            plan_mode=data.get("plan_mode", "fused"),
+            plan_cache=data.get("plan_cache", "auto"),
             t_end=_num(data.get("t_end", 10.0), f"{path}.t_end"),
             steps=None if steps is None else _num(steps, f"{path}.steps", integer=True),
             epsilon0=_num(data.get("epsilon0", 1.0), f"{path}.epsilon0"),
@@ -508,6 +519,20 @@ class SimulationSpec:
             get_backend(self.backend)
         except (ValueError, TypeError) as exc:
             raise SpecError(f"{path}.backend", str(exc)) from exc
+        from ..engine.compile import PLAN_MODES
+
+        if self.plan_mode not in PLAN_MODES:
+            raise SpecError(
+                f"{path}.plan_mode",
+                f"unknown plan mode {self.plan_mode!r} "
+                f"(known: {', '.join(PLAN_MODES)})",
+            )
+        if not isinstance(self.plan_cache, str) or not self.plan_cache:
+            raise SpecError(
+                f"{path}.plan_cache",
+                "expected 'auto', 'off', or a cache directory, "
+                f"got {self.plan_cache!r}",
+            )
         from ..basis.multiindex import FAMILIES
 
         if self.family not in FAMILIES:

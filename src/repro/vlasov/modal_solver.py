@@ -243,6 +243,9 @@ class VlasovModalSolver:
         if out is None:
             out = self.backend.empty(f.shape)
         aux = self.field_aux(em)
+        # f is read-only for the rest of this evaluation: fused plans may
+        # share its velocity-weighted copies across the operators below
+        self.pool.mark_stable_state(f)
         self._accumulate_volume(f, aux, out)
         self._accumulate_streaming_surfaces(f, aux, out)
         self._accumulate_acceleration_surfaces(f, aux, out)

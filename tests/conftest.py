@@ -32,6 +32,22 @@ def pytest_configure(config):
     )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_plan_cache(tmp_path_factory):
+    """Point the compiled-plan disk cache at a session tmp dir so the suite
+    never reads from or writes to the user's ``~/.cache/repro``."""
+    import os
+
+    prev = os.environ.get("REPRO_CACHE_DIR")
+    path = tmp_path_factory.mktemp("plan-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield path
+    if prev is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = prev
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(20200919)

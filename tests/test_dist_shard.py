@@ -157,6 +157,40 @@ def test_driver_usable_after_close(tmp_path):
         drv.app.step()
 
 
+def test_warm_cache_sharded_run_compiles_nothing(tmp_path):
+    """Acceptance: a warm-cache process:2 run hydrates every plan from the
+    shared disk cache (zero compiles in parent or any worker) while staying
+    bit-identical to serial.  The cache is warmed by a cold sharded run —
+    worker plans are keyed on the *shard* cell shapes, so a serial run
+    cannot pre-warm them."""
+    cache = tmp_path / "plans"
+    spec = build(
+        "weibel_2x2v", nx=4, nv=6, poly_order=1, steps=2,
+        **{"plan_cache": str(cache)},
+    )
+
+    serial = Driver(spec)
+    serial.run()
+
+    cold = Driver(spec.with_overrides({"backend": "process:2"}))
+    cold_result = cold.run()
+    cold.close()
+    assert cold_result["plans"]["cache_stores"] > 0  # populated the cache
+
+    warm = Driver(spec.with_overrides({"backend": "process:2"}))
+    warm_result = warm.run()
+    warm.close()
+
+    plans = warm_result["plans"]
+    assert plans["compiled"] == 0, f"warm sharded run recompiled: {plans}"
+    assert plans["hydrated"] > 0
+    assert plans["cache_misses"] == 0
+
+    for key, ref in serial.app.state().items():
+        assert np.array_equal(ref, warm.app.state()[key]), key
+        assert np.array_equal(ref, cold.app.state()[key]), key
+
+
 # --------------------------------------------------------------------- #
 # plan / block unit tests (no worker processes)
 # --------------------------------------------------------------------- #

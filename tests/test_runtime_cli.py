@@ -82,6 +82,38 @@ def test_campaign_subcommand(capsys, tmp_path):
     assert "0 ran, 2 skipped" in capsys.readouterr().out
 
 
+def test_plans_warm_list_clear_cycle(capsys, tmp_path):
+    cache = tmp_path / "plans"
+    assert main([
+        "plans", "warm", "free_streaming", "--cache", str(cache),
+        "--set", "nx=4", "--set", "nv=8",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "compiled" in out
+
+    assert main(["plans", "list", "--cache", str(cache), "--json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert listing["plans"], "warm left no plan entries behind"
+    assert all(e["status"] == "ok" for e in listing["plans"])
+
+    # a second warm against the same cache hydrates instead of compiling
+    assert main([
+        "plans", "warm", "free_streaming", "--cache", str(cache),
+        "--set", "nx=4", "--set", "nv=8",
+    ]) == 0
+    assert "compiled 0" in capsys.readouterr().out
+
+    assert main(["plans", "clear", "--cache", str(cache)]) == 0
+    capsys.readouterr()
+    assert main(["plans", "list", "--cache", str(cache), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["plans"] == []
+
+
+def test_plans_cache_off_is_a_clean_error(capsys):
+    assert main(["plans", "list", "--cache", "off"]) == 2
+    assert "cache" in capsys.readouterr().err
+
+
 def test_unknown_scenario_is_a_clean_error(capsys):
     assert main(["run", "tokamak"]) == 2
     assert "unknown scenario" in capsys.readouterr().err

@@ -156,3 +156,43 @@ def test_summary_is_json_serializable(tmp_path):
     result = Driver(build("free_streaming", nx=4, nv=8, steps=2)).run()
     json.dumps(result)
     assert result["scenario"] == "free_streaming"
+
+
+def test_summary_reports_plan_stats():
+    result = Driver(build("two_stream", nx=4, nv=8, steps=1)).run()
+    plans = result["plans"]
+    assert plans["compiled"] + plans["hydrated"] > 0
+    assert plans["fused"] + plans["interpreted"] == plans["compiled"] + plans["hydrated"]
+    assert plans["compile_seconds"] >= 0.0
+
+
+def test_second_driver_hydrates_from_disk_cache(tmp_path):
+    """A warm cache turns every plan compile into a hydrate, bit-identically."""
+    kwargs = dict(nx=4, nv=8, steps=2, **{"plan_cache": str(tmp_path)})
+
+    cold = Driver(build("two_stream", **kwargs))
+    cold_result = cold.run()
+    assert cold_result["plans"]["compiled"] > 0
+    assert cold_result["plans"]["cache_stores"] > 0
+
+    warm = Driver(build("two_stream", **kwargs))
+    warm_result = warm.run()
+    assert warm_result["plans"]["compiled"] == 0
+    assert warm_result["plans"]["hydrated"] == cold_result["plans"]["compiled"]
+    assert warm_result["plans"]["cache_hits"] == warm_result["plans"]["hydrated"]
+
+    for key, ref in cold.app.state().items():
+        assert np.array_equal(ref, warm.app.state()[key]), key
+
+
+def test_interpreted_plan_mode_matches_fused():
+    fused = Driver(build("two_stream", nx=4, nv=8, steps=2))
+    fused.run()
+    interp = Driver(
+        build("two_stream", nx=4, nv=8, steps=2, **{"plan_mode": "interpreted"})
+    )
+    result = interp.run()
+    assert result["plans"]["fused"] == 0
+    assert result["plans"]["interpreted"] > 0
+    for key, ref in fused.app.state().items():
+        assert np.allclose(ref, interp.app.state()[key], rtol=2e-15, atol=2e-15), key

@@ -214,6 +214,33 @@ def test_process_backend_validates_in_spec():
     assert err.value.field == "spec.backend"
 
 
+def test_plan_mode_and_cache_roundtrip_and_validation():
+    spec = _minimal_spec(plan_mode="interpreted", plan_cache="off").validate()
+    assert spec.plan_mode == "interpreted"
+    again = SimulationSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.plan_cache == "off"
+    # defaults survive the dict round-trip too
+    base = _minimal_spec().validate()
+    assert base.plan_mode == "fused" and base.plan_cache == "auto"
+    assert SimulationSpec.from_dict(base.to_dict()) == base
+
+    with pytest.raises(SpecError) as err:
+        _minimal_spec(plan_mode="jit").validate()
+    assert err.value.field == "spec.plan_mode"
+    with pytest.raises(SpecError) as err:
+        _minimal_spec(plan_cache=7).validate()
+    assert err.value.field == "spec.plan_cache"
+
+
+def test_plan_mode_override_dotted_path():
+    spec = _minimal_spec().validate()
+    out = spec.with_overrides({"plan_mode": "interpreted", "plan_cache": "off"})
+    assert out.plan_mode == "interpreted"
+    assert out.plan_cache == "off"
+    assert spec.plan_mode == "fused"  # frozen original untouched
+
+
 def test_grid_spec_validation():
     with pytest.raises(SpecError) as err:
         GridSpec((0.0,), (-1.0,), (4,)).validate("g")
