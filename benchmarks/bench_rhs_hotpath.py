@@ -29,6 +29,7 @@ Usage::
     python benchmarks/bench_rhs_hotpath.py --require-speedup 2.0
     python benchmarks/bench_rhs_hotpath.py --require-layout-speedup 1.15
     python benchmarks/bench_rhs_hotpath.py --cache /tmp/plans --require-fused-speedup 1.05
+    python benchmarks/bench_rhs_hotpath.py --require-obs-overhead 0.02
 
 Not collected by pytest (no ``test_`` functions) — run it as a script.
 """
@@ -112,6 +113,22 @@ def _best(fn, repeats: int, iters: int) -> float:
     return best
 
 
+def _best_pair(fn_a, fn_b, repeats: int, iters: int):
+    """Interleaved best-of A/B timing: alternate the two callables within
+    each repeat so clock drift and cache warmth hit both equally."""
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn_a()
+        best_a = min(best_a, (time.perf_counter() - t0) / iters)
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            fn_b()
+        best_b = min(best_b, (time.perf_counter() - t0) / iters)
+    return best_a, best_b
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--config", default="weibel", help="weibel | two_stream")
@@ -147,6 +164,15 @@ def main(argv=None) -> int:
         default=None,
         help="exit nonzero unless the coupled-RHS speedup of the fused "
         "plan mode over the interpreted mode reaches this factor",
+    )
+    ap.add_argument(
+        "--require-obs-overhead",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="exit nonzero if the observability-off coupled RHS (guarded "
+        "wrapper, one flag check) is more than FRAC slower than the "
+        "unwrapped body (e.g. 0.02 for 2%%)",
     )
     args = ap.parse_args(argv)
 
@@ -234,6 +260,21 @@ def main(argv=None) -> int:
     dt = app.suggested_dt()
     t_step = _best(lambda: app.step(dt), max(repeats - 1, 1), max(iters // 2, 1))
 
+    # observability-off overhead: System.rhs is the guarded wrapper (one
+    # module-level flag check), _rhs_impl is the unwrapped body.  Interleaved
+    # A/B with obs forced off isolates the cost of the instrumentation seam.
+    from repro.obs import OBS
+
+    OBS.configure("off")
+    obs_repeats = max(repeats, 3)
+    t_rhs_bare, t_rhs_wrapped = _best_pair(
+        lambda: app._rhs_impl(state, out=out_state),
+        lambda: app.rhs(state, out=out_state),
+        obs_repeats,
+        iters,
+    )
+    obs_overhead = t_rhs_wrapped / t_rhs_bare - 1.0
+
     result = {
         "config": args.config,
         "backend": args.backend,
@@ -264,6 +305,11 @@ def main(argv=None) -> int:
         "plan_cache": args.cache,
         "plans": {"fused": plans_fused, "interpreted": plans_interp},
         "step_ms": 1e3 * t_step,
+        "obs": {
+            "bare_rhs_ms": 1e3 * t_rhs_bare,
+            "wrapped_rhs_ms": 1e3 * t_rhs_wrapped,
+            "off_overhead": obs_overhead,
+        },
     }
 
     print(f"=== RHS hot path — {args.config} "
@@ -293,6 +339,9 @@ def main(argv=None) -> int:
           f"hydrated {plans_interp['hydrated']} "
           f"({plans_interp['compile_seconds']:.2f}s)")
     print(f"full SSP-RK3 step: {1e3*t_step:.2f} ms")
+    print(f"obs off-mode : bare {1e3*t_rhs_bare:8.2f} ms | "
+          f"wrapped {1e3*t_rhs_wrapped:8.2f} ms | "
+          f"overhead {100.0*obs_overhead:+.2f}%")
 
     if args.json:
         Path(args.json).write_text(json.dumps(result, indent=2) + "\n")
@@ -320,6 +369,14 @@ def main(argv=None) -> int:
             rc = 1
         else:
             print(f"OK: fused speedup >= {args.require_fused_speedup}x")
+    if args.require_obs_overhead is not None:
+        if obs_overhead > args.require_obs_overhead:
+            print(f"FAIL: obs off-mode overhead {100.0*obs_overhead:.2f}% "
+                  f"> allowed {100.0*args.require_obs_overhead:.2f}%")
+            rc = 1
+        else:
+            print(f"OK: obs off-mode overhead <= "
+                  f"{100.0*args.require_obs_overhead:.2f}%")
     return rc
 
 

@@ -42,11 +42,25 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import OBS as _OBS
+from ..obs.metrics import SLOT as _OBS_SLOT
+from ..obs.ring import ObsChannel
+from ..obs.tracer import SpanEvent
 from ..systems.model import run_loop
 from .blocks import BlockMaxwellRHS, fill_padded, build_block_species
 from .plan import HaloStats, ShardPlan
 
 __all__ = ["ShardedApp"]
+
+_perf_counter = time.perf_counter
+_S_RK_STAGES = _OBS_SLOT["rk_stages"]
+_S_RHS = _OBS_SLOT["rhs_calls"]
+_S_RHS_MS = _OBS_SLOT["rhs_ms"]
+_S_HALO = _OBS_SLOT["halo_exchanges"]
+_S_HALO_MS = _OBS_SLOT["halo_wait_ms"]
+_S_HALO_BYTES = _OBS_SLOT["halo_bytes"]
+_S_BARRIER = _OBS_SLOT["barrier_waits"]
+_S_BARRIER_MS = _OBS_SLOT["barrier_wait_ms"]
 
 _READY_TIMEOUT = 600.0   # worker start + block-plan generation
 _STEP_TIMEOUT = 3600.0   # one full step on one shard
@@ -59,13 +73,23 @@ _BARRIER_TIMEOUT = 600.0
 class _ShardWorker:
     """Per-process execution state for one shard (lives in the child)."""
 
-    def __init__(self, app, plan: ShardPlan, shard: int, shared, rho_shared, barrier):
+    def __init__(
+        self, app, plan: ShardPlan, shard: int, shared, rho_shared, barrier,
+        obs_buf=None,
+    ):
         self.app = app
         self.plan = plan
         self.shard = shard
         self.shared = shared
         self.rho_shared = rho_shared
         self.barrier = barrier
+        # observability: rebind the process-global runtime onto this
+        # worker's shared-memory channel *before* block plans compile, so
+        # even compile counters land where the parent can read them
+        self.obs_channel = None
+        if obs_buf is not None:
+            self.obs_channel = ObsChannel(obs_buf)
+            _OBS.adopt_channel(self.obs_channel)
         # plan-compilation counters forked from the parent are the parent's
         # history; this worker's own contribution is the delta from here
         from ..engine.compile import STATS as _PLAN_STATS
@@ -132,13 +156,18 @@ class _ShardWorker:
 
     # ------------------------------------------------------------------ #
     def stats_payload(self) -> dict:
-        return {
+        payload = {
             "f": self.stats_f.as_dict(),
             "em": self.stats_em.as_dict(),
             "plans": self._plan_stats.delta(
                 self._plan_stats.snapshot(), self._plan_stats0
             ),
         }
+        if self.obs_channel is not None:
+            # the span ring carries label *ids*; the interned table is tiny
+            # and changes rarely, so it just rides the step responses
+            payload["obs_labels"] = list(_OBS.tracer.labels)
+        return payload
 
     def _read_state(self) -> None:
         """Halo phase: refresh padded inputs from the shared global state —
@@ -224,17 +253,45 @@ class _ShardWorker:
             self.em_block[..., 0, :] = ex[self._rho_slab]
 
     # ------------------------------------------------------------------ #
+    def _snapshot_u0(self) -> None:
+        for key, u0 in self.u0.items():
+            if key == "em":
+                np.copyto(u0, self.em_pad[self.maxwell_block._interior])
+            else:
+                np.copyto(u0, self.f_pad[key][self._pad_int[key]])
+
     def _stage(self, t: float, snapshot: bool = False) -> None:
+        obs = _OBS
+        if not obs.on:
+            self.barrier.wait()
+            self._read_state()
+            self.barrier.wait()
+            if snapshot:
+                self._snapshot_u0()
+            self._rhs(t)
+            return
+        # instrumented stage: the same operations, with the two barrier
+        # waits, the halo refresh, and the RHS evaluation each spanned
+        t_stage = _perf_counter()
+        t0 = t_stage
         self.barrier.wait()
+        obs.finish("barrier_wait", t0, _S_BARRIER, _S_BARRIER_MS)
+        doubles0 = self.stats_f.doubles + self.stats_em.doubles
+        t0 = _perf_counter()
         self._read_state()
+        obs.finish("halo_exchange", t0, _S_HALO, _S_HALO_MS)
+        obs.metrics.values[_S_HALO_BYTES] += 8 * (
+            self.stats_f.doubles + self.stats_em.doubles - doubles0
+        )
+        t0 = _perf_counter()
         self.barrier.wait()
+        obs.finish("barrier_wait", t0, _S_BARRIER, _S_BARRIER_MS)
         if snapshot:
-            for key, u0 in self.u0.items():
-                if key == "em":
-                    np.copyto(u0, self.em_pad[self.maxwell_block._interior])
-                else:
-                    np.copyto(u0, self.f_pad[key][self._pad_int[key]])
+            self._snapshot_u0()
+        t0 = _perf_counter()
         self._rhs(t)
+        obs.finish("rhs", t0, _S_RHS, _S_RHS_MS)
+        obs.finish("rk_stage", t_stage, _S_RK_STAGES)
 
     def _axpy(self, dt: float) -> None:
         # mirrors timestepping.ssprk._axpy_inplace on this shard's slab
@@ -251,7 +308,11 @@ class _ShardWorker:
             np.multiply(self.u0[key], b, out=kk)
             arr += kk
 
-    def step(self, dt: float, t: float) -> None:
+    def step(self, dt: float, t: float, step_index: int = 0) -> None:
+        # the parent's global step index keeps trace sampling aligned
+        # across every worker (and across checkpoint resumes)
+        if _OBS.mode == "trace":
+            _OBS.begin_step(step_index)
         name = self.stepper_name
         if name == "ForwardEuler":
             self._stage(t)
@@ -291,13 +352,17 @@ def _watch_parent(ppid: int) -> None:
             os._exit(2)
 
 
-def _worker_main(app, plan, shard, shared, rho_shared, barrier, conn) -> None:
+def _worker_main(
+    app, plan, shard, shared, rho_shared, barrier, conn, obs_buf=None
+) -> None:
     threading.Thread(
         target=_watch_parent, args=(os.getppid(),), daemon=True,
         name="repro-parent-watchdog",
     ).start()
     try:
-        worker = _ShardWorker(app, plan, shard, shared, rho_shared, barrier)
+        worker = _ShardWorker(
+            app, plan, shard, shared, rho_shared, barrier, obs_buf=obs_buf
+        )
         conn.send(("ready", worker.stats_payload()))
     except Exception:  # noqa: BLE001 - reported to the parent
         conn.send(("error", traceback.format_exc()))
@@ -312,7 +377,7 @@ def _worker_main(app, plan, shard, shared, rho_shared, barrier, conn) -> None:
             break
         try:
             if cmd == "step":
-                worker.step(msg[1], msg[2])
+                worker.step(msg[1], msg[2], msg[3])
             elif cmd == "rhs":
                 worker.rhs_pass(msg[1])
             else:
@@ -427,6 +492,23 @@ class ShardedApp:
         ):  # pragma: no cover - maxwell always has em
             raise RuntimeError("maxwell state without an EM field")
 
+        # observability channels ride the same shared-memory plumbing as
+        # the state (allocated before the fork, released with the segments)
+        obs_bufs: List[Optional[np.ndarray]] = [None] * self.nshards
+        self._obs_channels: List[ObsChannel] = []
+        self._obs_events: List[List[Tuple[int, float, float]]] = []
+        self._obs_lost: List[int] = []
+        self._obs_final_metrics: Optional[List[dict]] = None
+        self._obs_final_spans: Optional[List[SpanEvent]] = None
+        if _OBS.on:
+            obs_bufs = [
+                self._alloc(np.zeros(ObsChannel.length()))
+                for _ in range(self.nshards)
+            ]
+            self._obs_channels = [ObsChannel(buf) for buf in obs_bufs]
+            self._obs_events = [[] for _ in range(self.nshards)]
+            self._obs_lost = [0] * self.nshards
+
         ctx = mp.get_context("fork")
         self._barrier = ctx.Barrier(self.nshards, timeout=_BARRIER_TIMEOUT)
         self._procs: List[mp.Process] = []
@@ -437,7 +519,7 @@ class ShardedApp:
                 target=_worker_main,
                 args=(
                     app, self.plan, shard, self._shared, rho_shared,
-                    self._barrier, child_conn,
+                    self._barrier, child_conn, obs_bufs[shard],
                 ),
                 daemon=True,
                 name=f"repro-shard-{shard}",
@@ -490,6 +572,12 @@ class ShardedApp:
                 self.close()
                 raise RuntimeError(f"shard {shard} failed:\n{payload}")
             self.shard_stats[shard] = payload
+        # workers are idle between commands, so draining the span rings
+        # here never races their (single-writer) pushes
+        for shard, channel in enumerate(self._obs_channels):
+            records, lost = channel.drain()
+            self._obs_events[shard].extend(records)
+            self._obs_lost[shard] += lost
 
     # ------------------------------------------------------------------ #
     # the App interface
@@ -527,7 +615,9 @@ class ShardedApp:
             raise RuntimeError("ShardedApp is closed")
         if dt is None:
             dt = self._inner.suggested_dt()
-        self._command(("step", float(dt), float(self._inner.time)))
+        self._command(
+            ("step", float(dt), float(self._inner.time), self._inner.step_count)
+        )
         self._inner.time += dt
         self._inner.step_count += 1
         return dt
@@ -563,6 +653,41 @@ class ShardedApp:
         as ``hydrated`` instead of ``compiled``)."""
         return [dict(entry.get("plans", {})) for entry in self.shard_stats]
 
+    # ------------------------------------------------------------------ #
+    # observability (parent-side view of the worker channels)
+    # ------------------------------------------------------------------ #
+    def obs_metrics(self) -> List[dict]:
+        """Per-worker metric snapshots read straight out of the shared
+        blocks (plus ring-overflow span losses, counted parent-side)."""
+        if self._obs_final_metrics is not None:
+            return [dict(snap) for snap in self._obs_final_metrics]
+        out = []
+        for shard, channel in enumerate(self._obs_channels):
+            snap = channel.metrics.snapshot()
+            snap["spans_dropped"] += self._obs_lost[shard]
+            out.append(snap)
+        return out
+
+    def obs_spans(self) -> List[SpanEvent]:
+        """Every drained worker span, labels resolved and tagged with the
+        worker's real pid (one Chrome-trace row per worker)."""
+        if self._obs_final_spans is not None:
+            return list(self._obs_final_spans)
+        events: List[SpanEvent] = []
+        for shard in range(len(self._obs_channels)):
+            labels = self.shard_stats[shard].get("obs_labels", [])
+            pid = self._procs[shard].pid
+            for label_id, t0, t1 in self._obs_events[shard]:
+                label = (
+                    labels[label_id] if label_id < len(labels)
+                    else f"label-{label_id}"
+                )
+                events.append((pid, 0, label, t0, t1))
+        return events
+
+    def obs_process_names(self) -> Dict[int, str]:
+        return {proc.pid: f"shard-{i}" for i, proc in enumerate(self._procs)}
+
     def close(self) -> None:
         """Stop the workers and release the shared segments (idempotent).
         The wrapped app keeps private copies of the state, so diagnostics
@@ -570,6 +695,17 @@ class ShardedApp:
         if self._closed:
             return
         self._closed = True
+        if self._obs_channels:
+            # snapshot the shared-memory telemetry into plain Python before
+            # the segments are unlinked, so Driver.summary() (and trace
+            # writing) keep working after close
+            for shard, channel in enumerate(self._obs_channels):
+                records, lost = channel.drain()
+                self._obs_events[shard].extend(records)
+                self._obs_lost[shard] += lost
+            self._obs_final_spans = self.obs_spans()
+            self._obs_final_metrics = self.obs_metrics()
+            self._obs_channels = []
         app = self._inner
         for sp in app.species:
             key = f"f/{sp.name}"

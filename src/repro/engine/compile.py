@@ -35,6 +35,8 @@ from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple, Union
 
 from ..kernels.termset import AuxValue, TermSet
+from ..obs import OBS as _OBS
+from ..obs.metrics import SLOT as _OBS_SLOT
 from .backend import ArrayBackend
 from .fused import FusedPlan
 from .plan import ExecutionPlan, aux_signature, plan_digest
@@ -202,10 +204,13 @@ def compile_plan(
     plan: Optional[ExecutionPlan] = None
     digest = None
     cache = None
-    if root is not None:
+    if root is not None or _OBS.on:
+        # observability wants the digest even without a cache: it is the
+        # plan's identity in spans (``plan_apply:<digest12>``) and reports
         names = sorted({n for sym in termset.entries_by_symbol() for n in sym})
         signature = aux_signature(names, aux, cdim, vdim)
         digest = plan_digest(termset, cdim, vdim, signature, cell_shape)
+    if root is not None:
         cache = PlanCache(root)
         payload = cache.load(digest)
         if payload is not None:
@@ -228,6 +233,7 @@ def compile_plan(
                 plan = None
         if plan is None:
             STATS.cache_misses += 1
+    hydrated = plan is not None
     if plan is None:
         plan = ExecutionPlan(
             termset, cdim, vdim, aux, cell_shape, backend=backend, pool=pool
@@ -237,6 +243,8 @@ def compile_plan(
             meta, arrays = plan.to_artifacts()
             if cache.store(digest, meta, arrays):
                 STATS.cache_stores += 1
+    if digest is not None:
+        plan.obs_label = f"plan_apply:{digest[:12]}"
     if cfg.mode == "fused":
         STATS.fused += 1
         result: Union[ExecutionPlan, FusedPlan] = FusedPlan(
@@ -252,4 +260,12 @@ def compile_plan(
         STATS.interpreted += 1
         result = plan
     STATS.compile_seconds += time.perf_counter() - t0
+    if _OBS.on:
+        # mirror into the obs registry so one snapshot carries the whole
+        # performance picture (STATS stays the plans-specific source)
+        slot = "plan_hydrated" if hydrated else "plan_compiled"
+        _OBS.finish(
+            "plan_compile", t0,
+            _OBS_SLOT[slot], _OBS_SLOT["plan_compile_ms"],
+        )
     return result

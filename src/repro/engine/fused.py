@@ -48,6 +48,7 @@ scratch-pool copy audit behave identically.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -55,9 +56,14 @@ import scipy.sparse as sp
 
 from ..cas.codegen import compile_fused_sweep
 from ..kernels.termset import AuxValue, _csr_tools, csr_accumulate
+from ..obs import OBS as _OBS
+from ..obs.metrics import SLOT as _OBS_SLOT
 from .plan import ExecutionPlan, _scalar_value
 
 __all__ = ["FusedPlan"]
+
+_S_PLAN_APPLIES = _OBS_SLOT["plan_applies"]
+_S_PLAN_APPLY_MS = _OBS_SLOT["plan_apply_ms"]
 
 _IMMUTABLE_SCALARS = (float, int)
 
@@ -502,6 +508,18 @@ class FusedPlan:
         return entry
 
     def _run(self, fin, aux, out, accumulate: bool) -> np.ndarray:
+        # both apply paths funnel through here, so this single guard is the
+        # fused path's entire observability seam
+        if _OBS.on:
+            t0 = _perf_counter()
+            out = self._run_impl(fin, aux, out, accumulate)
+            _OBS.finish(
+                self._plan.obs_label, t0, _S_PLAN_APPLIES, _S_PLAN_APPLY_MS
+            )
+            return out
+        return self._run_impl(fin, aux, out, accumulate)
+
+    def _run_impl(self, fin, aux, out, accumulate: bool) -> np.ndarray:
         if fin.shape != self._in_shape:
             raise ValueError(
                 f"plan compiled for input {self._in_shape}, got {fin.shape}"

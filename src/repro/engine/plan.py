@@ -41,12 +41,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+from time import perf_counter as _perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..kernels.termset import AuxValue, Symbol, TermSet, csr_accumulate
+from ..obs import OBS as _OBS
+from ..obs.metrics import SLOT as _OBS_SLOT
 from .backend import ArrayBackend, get_backend
 from .plancache import ARTIFACT_VERSION
 from .pool import ScratchPool
@@ -58,6 +61,9 @@ __all__ = [
     "ExecutionPlan",
     "PlanSignatureError",
 ]
+
+_S_PLAN_APPLIES = _OBS_SLOT["plan_applies"]
+_S_PLAN_APPLY_MS = _OBS_SLOT["plan_apply_ms"]
 
 Signature = Tuple[Tuple[str, str], ...]
 
@@ -186,6 +192,10 @@ class _CfgGroup:
 class ExecutionPlan:
     """A TermSet compiled against one (aux signature, cell shape) pair.
 
+    ``obs_label`` is the span label applications record under when tracing
+    (:mod:`repro.obs`); :func:`repro.engine.compile.compile_plan` rebinds it
+    to ``plan_apply:<digest12>`` so traces attribute time to plans.
+
     Parameters
     ----------
     termset:
@@ -202,6 +212,9 @@ class ExecutionPlan:
     backend, pool:
         Dense-product strategy and shared scratch arena.
     """
+
+    # class-level default keeps plans unpickled from older caches valid
+    obs_label = "plan_apply"
 
     def __init__(
         self,
@@ -563,6 +576,20 @@ class ExecutionPlan:
         discarded (``out = K f`` rather than ``out += K f``) without the
         caller having to zero it — the first dense write assigns.
         """
+        if _OBS.on:
+            t0 = _perf_counter()
+            out = self._apply_impl(fin, aux, out, accumulate)
+            _OBS.finish(self.obs_label, t0, _S_PLAN_APPLIES, _S_PLAN_APPLY_MS)
+            return out
+        return self._apply_impl(fin, aux, out, accumulate)
+
+    def _apply_impl(
+        self,
+        fin: np.ndarray,
+        aux: Dict[str, AuxValue],
+        out: np.ndarray,
+        accumulate: bool = True,
+    ) -> np.ndarray:
         if fin.shape != self.in_shape:
             raise ValueError(
                 f"plan compiled for input {self.in_shape}, got {fin.shape}"

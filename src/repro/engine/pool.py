@@ -16,7 +16,12 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..obs import OBS as _OBS
+from ..obs.metrics import SLOT as _OBS_SLOT
+
 __all__ = ["ScratchPool"]
+
+_S_SCRATCH = _OBS_SLOT["scratch_bytes"]
 
 
 class ScratchPool:
@@ -75,6 +80,12 @@ class ScratchPool:
         if arr is None:
             arr = np.zeros(key[1])
             self._arrays[key] = arr
+            if _OBS.on:
+                # high-water gauge, updated only on the (rare) alloc branch
+                values = _OBS.metrics.values
+                total = self.nbytes
+                if total > values[_S_SCRATCH]:
+                    values[_S_SCRATCH] = total
         elif zero:
             arr.fill(0.0)
         return arr

@@ -1,0 +1,91 @@
+"""Tiny fixed-width table renderer shared by the CLI surfaces.
+
+``repro plans list`` and ``repro report`` both print aligned columnar
+tables; this helper owns the alignment rules so the two commands (and any
+future ones) agree on the look: columns auto-sized to their widest cell,
+numeric-ish columns right-aligned, two spaces between columns, an optional
+header underlined with dashes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_ms", "format_bytes"]
+
+
+def _is_numeric(text: str) -> bool:
+    if not text:
+        return False
+    try:
+        float(text.rstrip("%x"))
+        return True
+    except ValueError:
+        return False
+
+
+def render_table(
+    rows: Iterable[Sequence[object]],
+    header: Optional[Sequence[str]] = None,
+    indent: str = "",
+    align: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows as an aligned table; returns the joined string.
+
+    ``align`` gives per-column ``"<"``/``">"`` overrides; unspecified
+    columns right-align when every body cell looks numeric (trailing ``%``
+    or ``x`` suffixes allowed, so ``1.03x`` and ``42%`` count).
+    """
+    body: List[List[str]] = [[str(c) for c in row] for row in rows]
+    if not body and header is None:
+        return ""
+    ncols = max(
+        [len(r) for r in body] + ([len(header)] if header is not None else [])
+    )
+    for row in body:
+        row.extend([""] * (ncols - len(row)))
+    head = [str(c) for c in header] if header is not None else None
+    if head is not None:
+        head.extend([""] * (ncols - len(head)))
+
+    widths = [0] * ncols
+    for row in body + ([head] if head is not None else []):
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    aligns: List[str] = []
+    for i in range(ncols):
+        if align is not None and i < len(align) and align[i] in ("<", ">"):
+            aligns.append(align[i])
+        else:
+            cells = [r[i] for r in body if r[i]]
+            aligns.append(">" if cells and all(_is_numeric(c) for c in cells) else "<")
+
+    def fmt(row: List[str]) -> str:
+        cells = [f"{cell:{aligns[i]}{widths[i]}}" for i, cell in enumerate(row)]
+        return (indent + "  ".join(cells)).rstrip()
+
+    lines: List[str] = []
+    if head is not None:
+        lines.append(fmt(head))
+        lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in body)
+    return "\n".join(lines)
+
+
+def format_ms(ms: float) -> str:
+    """Milliseconds with sensible precision (``0.12``, ``3.4``, ``1234``)."""
+    if ms >= 100:
+        return f"{ms:.0f}"
+    if ms >= 1:
+        return f"{ms:.1f}"
+    return f"{ms:.2f}"
+
+
+def format_bytes(n: float) -> str:
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}GiB"

@@ -10,6 +10,13 @@ Subcommands::
     repro campaign <file.json>         # parameter-scan batch runner
     repro worker <manifest-dir>        # claim campaign entries (lease-based)
     repro plans list|clear|warm        # inspect/manage the compiled-plan cache
+    repro report <outdir>              # render a run's observability output
+
+``repro run ... --trace`` turns on full observability for the run
+(``observability.mode=trace``): a Chrome-trace ``trace.json`` (loadable in
+Perfetto, one row per sharded worker) and a ``metrics.jsonl`` counter
+stream land in the outdir, and ``repro report <outdir>`` renders the
+per-phase time breakdown and the top plans by self-time from them.
 
 The compiled-plan disk cache (``~/.cache/repro`` or ``$REPRO_CACHE_DIR``)
 is controlled per run through the spec: ``--set plan_cache=off`` disables
@@ -107,6 +114,8 @@ def _cmd_run(args) -> int:
     overrides = _parse_set(args.set)
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.trace:
+        overrides["observability.mode"] = "trace"
     spec = build(args.scenario, **overrides)
     driver = Driver(spec, outdir=args.outdir, wall_clock_budget=args.budget)
     try:
@@ -114,8 +123,11 @@ def _cmd_run(args) -> int:
     finally:
         driver.close()
     _print_summary(result, args.json)
-    if driver.checkpoint_path is not None and not args.json:
-        print(f"checkpoint    : {driver.checkpoint_path}")
+    if not args.json:
+        if driver.checkpoint_path is not None:
+            print(f"checkpoint    : {driver.checkpoint_path}")
+        if args.trace and driver.trace_path is not None:
+            print(f"trace         : {driver.trace_path}")
     return 0
 
 
@@ -225,18 +237,30 @@ def _cmd_plans_list(args) -> int:
             "kernels": [str(p) for p in kernels],
         }, indent=2))
         return 0
+    from ._fmt import render_table
+
     print(f"cache root : {cache.root}")
     total = sum(e.get("bytes", 0) for e in entries)
     print(f"plans      : {len(entries)} entries, {total} bytes")
+    rows = []
     for e in entries:
         if e["status"] == "ok":
             detail = f"{e['nout']}x{e['nin']}  cells={e['cell_shape']}"
         else:
             detail = e["status"]
-        print(f"  {e['digest'][:16]}  {e.get('bytes', 0):>9}  {detail}")
+        rows.append((e["digest"][:16], e.get("bytes", 0), detail))
+    if rows:
+        print(render_table(rows, indent="  ", align=("<", ">", "<")))
     print(f"kernels    : {len(kernels)} compiled objects")
     for p in kernels:
         print(f"  {p.name}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from ..obs.report import render_report
+
+    print(render_report(args.outdir, top=args.top))
     return 0
 
 
@@ -308,6 +332,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution backend (numpy, threaded[:N], process[:N])",
     )
     p_run.add_argument("--json", action="store_true", help="print the summary as JSON")
+    p_run.add_argument(
+        "--trace",
+        action="store_true",
+        help="full observability: write Chrome-trace trace.json + "
+        "metrics.jsonl to the outdir (same as --set observability.mode=trace)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_resume = sub.add_parser("resume", help="resume from a checkpoint")
@@ -381,6 +411,16 @@ def _build_parser() -> argparse.ArgumentParser:
     pp_warm.add_argument("--set", action="append", default=[], metavar="KEY=VAL")
     pp_warm.add_argument("--cache", default="auto")
     pp_warm.set_defaults(func=_cmd_plans_warm)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a run's observability output (trace.json/metrics.jsonl)",
+    )
+    p_report.add_argument("outdir", help="a Driver output directory")
+    p_report.add_argument(
+        "--top", type=int, default=10, help="plans to show in the self-time table"
+    )
+    p_report.set_defaults(func=_cmd_report)
     return parser
 
 

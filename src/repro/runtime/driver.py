@@ -19,6 +19,7 @@ the full spec, so resuming needs nothing but the ``.npz`` file.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Union
@@ -27,6 +28,9 @@ import numpy as np
 
 from ..diagnostics.energy import EnergyHistory
 from ..io.checkpoint import load_checkpoint, normalize_state_layout, save_checkpoint
+from ..obs import OBS, chrome_trace, merge_snapshots
+from ..obs import configure_from_spec as _obs_configure
+from ..obs.metrics import SLOT as _OBS_SLOT
 from ..systems.registry import build_system
 from .errors import SpecError
 from .spec import SimulationSpec
@@ -35,6 +39,12 @@ __all__ = ["Driver", "build_app"]
 
 PathLike = Union[str, Path]
 _HISTORY_PREFIX = "history/"
+
+_S_STEPS = _OBS_SLOT["steps"]
+_S_DIAG = _OBS_SLOT["diag_records"]
+_S_DIAG_MS = _OBS_SLOT["diag_ms"]
+_S_CKPT = _OBS_SLOT["checkpoints"]
+_S_CKPT_MS = _OBS_SLOT["checkpoint_ms"]
 
 
 def build_app(spec: SimulationSpec):
@@ -55,6 +65,9 @@ def build_app(spec: SimulationSpec):
     from ..engine.compile import configure_from_spec
 
     configure_from_spec(spec)
+    # observability is process-global for the same fork-inheritance reason;
+    # configuring before the shard fork means workers adopt the mode too
+    _obs_configure(spec)
     return _maybe_shard(build_system(spec), spec)
 
 
@@ -114,6 +127,10 @@ class Driver:
         self.history = EnergyHistory(record_jdote=spec.diagnostics.record_jdote)
         self.wall_time = 0.0
         self._stream = None
+        self._metrics_stream = None
+        self._steps_per_s: Optional[float] = None
+        self._run_start: Optional[float] = None
+        self._run_steps0 = 0
         # a fresh driver truncates any stale stream file; checkpoint resumes
         # (and later run() calls on this driver) append
         self._stream_mode = "w"
@@ -144,8 +161,34 @@ class Driver:
             return self.outdir / "diagnostics.jsonl"
         return None
 
+    @property
+    def metrics_path(self) -> Optional[Path]:
+        """Where ``metrics.jsonl`` goes when observability is on."""
+        if self.spec.observability.metrics_path is not None:
+            return Path(self.spec.observability.metrics_path)
+        if self.outdir is not None:
+            return self.outdir / "metrics.jsonl"
+        return None
+
+    @property
+    def trace_path(self) -> Optional[Path]:
+        """Where ``trace.json`` goes when observability mode is trace."""
+        if self.spec.observability.trace_path is not None:
+            return Path(self.spec.observability.trace_path)
+        if self.outdir is not None:
+            return self.outdir / "trace.json"
+        return None
+
     def checkpoint(self, path: Optional[PathLike] = None) -> Path:
         """Write a self-describing checkpoint (state + history + spec)."""
+        if OBS.on:
+            t0 = time.perf_counter()
+            out = self._checkpoint(path)
+            OBS.finish("checkpoint", t0, _S_CKPT, _S_CKPT_MS)
+            return out
+        return self._checkpoint(path)
+
+    def _checkpoint(self, path: Optional[PathLike] = None) -> Path:
         path = Path(path) if path is not None else self.checkpoint_path
         if path is None:
             raise SpecError(
@@ -218,7 +261,15 @@ class Driver:
 
     # ------------------------------------------------------------------ #
     def _record(self) -> None:
-        if self.spec.diagnostics.energy_interval:
+        if not self.spec.diagnostics.energy_interval:
+            return
+        if OBS.on:
+            t0 = time.perf_counter()
+            self.history(self.app)
+            self._stream_record()
+            OBS.finish("diagnostics", t0, _S_DIAG, _S_DIAG_MS)
+            self._metrics_record()
+        else:
             self.history(self.app)
             self._stream_record()
 
@@ -240,6 +291,71 @@ class Driver:
         self._stream.write(json.dumps(rec) + "\n")
         self._stream.flush()
 
+    # ------------------------------------------------------------------ #
+    # observability (see repro.obs; everything below is cold-path)
+    # ------------------------------------------------------------------ #
+    def _obs_merged(self) -> Dict[str, float]:
+        """This run's metrics merged across the driver and (when sharded)
+        every worker's shared-memory registry."""
+        snaps = [OBS.metrics.snapshot()]
+        worker_metrics = getattr(self.app, "obs_metrics", None)
+        if callable(worker_metrics):
+            snaps.extend(worker_metrics())
+        merged = merge_snapshots(snaps)
+        merged["spans_dropped"] += OBS.tracer.dropped
+        return merged
+
+    def _metrics_record(self) -> None:
+        """Append a cumulative merged-counter snapshot to metrics.jsonl."""
+        if self._metrics_stream is None:
+            return
+        rec: Dict[str, object] = {
+            "time": self.app.time,
+            "step": self.app.step_count,
+            "metrics": self._obs_merged(),
+        }
+        if self._run_start is not None:
+            elapsed = time.perf_counter() - self._run_start
+            if elapsed > 0:
+                rec["steps_per_s"] = (
+                    self.app.step_count - self._run_steps0
+                ) / elapsed
+        self._metrics_stream.write(json.dumps(rec) + "\n")
+        self._metrics_stream.flush()
+
+    def _write_trace(self) -> None:
+        """Merge driver + worker spans into a Chrome trace file."""
+        path = self.trace_path
+        if path is None:
+            return
+        pid = os.getpid()
+        events = OBS.tracer.resolved(pid, 0)
+        names = {pid: "driver"}
+        worker_spans = getattr(self.app, "obs_spans", None)
+        if callable(worker_spans):
+            events.extend(worker_spans())
+            names.update(self.app.obs_process_names())
+        events.sort(key=lambda ev: ev[3])
+        doc = chrome_trace(events, OBS.origin, names)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+
+    def _close_streams(self) -> None:
+        """Flush + fsync + close both JSONL streams: runs in ``finally``,
+        so a KeyboardInterrupt cannot leave a truncated tail line only in
+        the OS page cache."""
+        for name in ("_stream", "_metrics_stream"):
+            fh = getattr(self, name)
+            if fh is None:
+                continue
+            setattr(self, name, None)
+            try:
+                fh.flush()
+                os.fsync(fh.fileno())
+            finally:
+                fh.close()
+
     def run(self, t_end: Optional[float] = None) -> Dict[str, object]:
         """Advance to ``t_end`` (default: the spec's) or the step cap.
 
@@ -260,24 +376,42 @@ class Driver:
         t_end = self.spec.t_end if t_end is None else float(t_end)
         max_steps = self.spec.steps if self.spec.steps is not None else 10**9
         start = time.perf_counter()
+        # precompute the absolute deadline once; the loop checks it every
+        # step, so budgeted runs stop within one step of the limit
+        deadline = (
+            None if self.wall_clock_budget is None
+            else start + self.wall_clock_budget
+        )
         status = "complete"
         spath = self.stream_path
         if spath is not None:
             spath.parent.mkdir(parents=True, exist_ok=True)
             self._stream = open(spath, self._stream_mode)
             self._stream_mode = "a"
+        obs = OBS
+        if obs.on:
+            self._run_start = start
+            self._run_steps0 = app.step_count
+            mpath = self.metrics_path
+            if mpath is not None:
+                mpath.parent.mkdir(parents=True, exist_ok=True)
+                self._metrics_stream = open(mpath, "w")
         try:
             if not self.history.times and app.step_count == 0:
                 self._record()
             while app.time < t_end - 1e-12 and app.step_count < max_steps:
-                if (
-                    self.wall_clock_budget is not None
-                    and time.perf_counter() - start > self.wall_clock_budget
-                ):
+                if deadline is not None and time.perf_counter() > deadline:
                     status = "budget_exhausted"
                     break
                 dt = min(app.suggested_dt(), t_end - app.time)
-                app.step(dt)
+                if obs.on:
+                    obs.begin_step(app.step_count)
+                    ts = time.perf_counter()
+                    app.step(dt)
+                    elapsed = obs.finish("step", ts, _S_STEPS)
+                    obs.metrics.observe_step_ms(elapsed * 1e3)
+                else:
+                    app.step(dt)
                 if diag.energy_interval and app.step_count % diag.energy_interval == 0:
                     self._record()
                 if diag.checkpoint_interval and app.step_count % diag.checkpoint_interval == 0:
@@ -286,9 +420,17 @@ class Driver:
                 if app.time < t_end - 1e-12:
                     status = "max_steps"
         finally:
-            if self._stream is not None:
-                self._stream.close()
-                self._stream = None
+            if obs.on:
+                elapsed = time.perf_counter() - start
+                if elapsed > 0:
+                    self._steps_per_s = (
+                        app.step_count - self._run_steps0
+                    ) / elapsed
+                self._metrics_record()
+                self._run_start = None
+            self._close_streams()
+            if obs.mode == "trace":
+                self._write_trace()
         self.wall_time += time.perf_counter() - start
         if self.checkpoint_path is not None:
             self.checkpoint()
@@ -336,4 +478,11 @@ class Driver:
                 for key, val in payload.items():
                     plans[key] = plans.get(key, 0) + val
         out["plans"] = plans
+        if OBS.on:
+            out["obs"] = {
+                "mode": OBS.mode,
+                "sample": OBS.sample,
+                "metrics": self._obs_merged(),
+                "steps_per_s": self._steps_per_s,
+            }
         return out

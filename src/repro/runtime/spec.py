@@ -32,6 +32,7 @@ __all__ = [
     "FieldInitSpec",
     "ExternalFieldSpec",
     "DiagnosticsSpec",
+    "ObservabilitySpec",
     "SimulationSpec",
     "SpecError",
 ]
@@ -367,6 +368,64 @@ class DiagnosticsSpec:
 
 
 # --------------------------------------------------------------------- #
+OBS_MODES = ("off", "summary", "trace")
+
+
+@dataclass(frozen=True)
+class ObservabilitySpec:
+    """Observability configuration (see :mod:`repro.obs`).
+
+    ``mode`` — ``"off"`` (default; instrumentation compiles to flag
+    checks), ``"summary"`` (metrics counters + ``metrics.jsonl``), or
+    ``"trace"`` (summary plus per-span Chrome-trace output).
+    ``sample`` — in trace mode, record spans every Nth step (metrics stay
+    exact; 1 = every step).  ``trace_path``/``metrics_path`` override the
+    Driver's default outputs (``outdir/trace.json``,
+    ``outdir/metrics.jsonl``).  ``$REPRO_OBS`` overrides ``mode`` at run
+    time.
+    """
+
+    mode: str = "off"
+    sample: int = 1
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "sample": self.sample,
+            "trace_path": self.trace_path,
+            "metrics_path": self.metrics_path,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping, path: str) -> "ObservabilitySpec":
+        _reject_unknown(
+            data, path, ("mode", "sample", "trace_path", "metrics_path")
+        )
+        for key in ("trace_path", "metrics_path"):
+            val = data.get(key)
+            if val is not None and not isinstance(val, str):
+                raise SpecError(f"{path}.{key}", f"expected a string, got {val!r}")
+        return cls(
+            mode=data.get("mode", "off"),
+            sample=_num(data.get("sample", 1), f"{path}.sample", integer=True),
+            trace_path=data.get("trace_path"),
+            metrics_path=data.get("metrics_path"),
+        )
+
+    def validate(self, path: str) -> None:
+        if self.mode not in OBS_MODES:
+            raise SpecError(
+                f"{path}.mode",
+                f"unknown observability mode {self.mode!r} "
+                f"(known: {', '.join(OBS_MODES)})",
+            )
+        if self.sample < 1:
+            raise SpecError(f"{path}.sample", "sample must be >= 1")
+
+
+# --------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class SimulationSpec:
     """Full declarative description of one kinetic simulation."""
@@ -394,12 +453,13 @@ class SimulationSpec:
     epsilon0: float = 1.0
     neutralize: bool = True
     diagnostics: DiagnosticsSpec = _dc_field(default_factory=DiagnosticsSpec)
+    observability: ObservabilitySpec = _dc_field(default_factory=ObservabilitySpec)
 
     _FIELDS = (
         "name", "model", "conf_grid", "species", "field", "external_field",
         "poly_order", "family", "cfl", "scheme", "stepper", "backend",
         "plan_mode", "plan_cache", "t_end",
-        "steps", "epsilon0", "neutralize", "diagnostics",
+        "steps", "epsilon0", "neutralize", "diagnostics", "observability",
     )
 
     # ------------------------------------------------------------------ #
@@ -426,6 +486,7 @@ class SimulationSpec:
             "epsilon0": self.epsilon0,
             "neutralize": self.neutralize,
             "diagnostics": self.diagnostics.to_dict(),
+            "observability": self.observability.to_dict(),
         }
 
     def to_json(self, **kwargs) -> str:
@@ -476,6 +537,9 @@ class SimulationSpec:
             neutralize=neutralize,
             diagnostics=DiagnosticsSpec.from_dict(
                 data.get("diagnostics", {}), f"{path}.diagnostics"
+            ),
+            observability=ObservabilitySpec.from_dict(
+                data.get("observability", {}), f"{path}.observability"
             ),
         )
         return spec.validate()
@@ -571,6 +635,7 @@ class SimulationSpec:
         if self.external_field is not None:
             self.external_field.validate(f"{path}.external_field", cdim)
         self.diagnostics.validate(f"{path}.diagnostics")
+        self.observability.validate(f"{path}.observability")
         return self
 
     # ------------------------------------------------------------------ #

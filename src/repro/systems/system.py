@@ -15,11 +15,14 @@ backend's serial-equality tests pin down.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..grid.cartesian import Grid
+from ..obs import OBS as _OBS
+from ..obs.metrics import SLOT as _OBS_SLOT
 from ..timestepping.ssprk import get_stepper
 from .blocks import (
     ExternalField,
@@ -33,6 +36,9 @@ from .blocks import (
 from .model import cfl_dt, run_loop
 
 __all__ = ["System"]
+
+_S_RHS = _OBS_SLOT["rhs_calls"]
+_S_RHS_MS = _OBS_SLOT["rhs_ms"]
 
 
 class System:
@@ -198,7 +204,24 @@ class System:
 
         ``out``, when given, is a donated state-shaped buffer dict filled in
         place (the steady-state path: no phase-space allocation).
+
+        This wrapper is the observability seam: with the default
+        ``mode="off"`` it is one flag check over :meth:`_rhs_impl` (the
+        overhead gate in ``bench_rhs_hotpath.py`` times the two against
+        each other).
         """
+        if _OBS.on:
+            t0 = _perf_counter()
+            out = self._rhs_impl(state, out)
+            _OBS.finish("rhs", t0, _S_RHS, _S_RHS_MS)
+            return out
+        return self._rhs_impl(state, out)
+
+    def _rhs_impl(
+        self,
+        state: Dict[str, np.ndarray],
+        out: Optional[Dict[str, np.ndarray]] = None,
+    ) -> Dict[str, np.ndarray]:
         em_eff = self.field.em_for_species(self, state)
         if out is None:
             out = {k: np.empty_like(v) for k, v in state.items()}

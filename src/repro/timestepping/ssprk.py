@@ -21,9 +21,13 @@ Two stepping interfaces are provided:
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Callable, Dict, Optional
 
 import numpy as np
+
+from ..obs import OBS as _OBS
+from ..obs.metrics import SLOT as _OBS_SLOT
 
 State = Dict[str, np.ndarray]
 RhsFn = Callable[[State], State]
@@ -81,6 +85,23 @@ def _axpy_inplace(state: State, dt: float, k: State) -> None:
         arr += kk
 
 
+_S_RK_STAGES = _OBS_SLOT["rk_stages"]
+
+
+def _stage_inplace(state: State, rhs_into: RhsIntoFn, dt: float, k: State) -> None:
+    """One forward-Euler stage, ``state += dt * rhs(state)`` — the repeated
+    unit of every Shu–Osher stepper, and the observability ``rk_stage``
+    span (one flag check when off)."""
+    if _OBS.on:
+        t0 = _perf_counter()
+        rhs_into(state, k)
+        _axpy_inplace(state, dt, k)
+        _OBS.finish("rk_stage", t0, _S_RK_STAGES)
+        return
+    rhs_into(state, k)
+    _axpy_inplace(state, dt, k)
+
+
 class ForwardEuler(_WorkspaceMixin):
     """First-order explicit Euler (also the unit of the paper's cost metric)."""
 
@@ -93,8 +114,7 @@ class ForwardEuler(_WorkspaceMixin):
 
     def step_inplace(self, state: State, rhs_into: RhsIntoFn, dt: float) -> None:
         k = self._work("k", state)
-        rhs_into(state, k)
-        _axpy_inplace(state, dt, k)
+        _stage_inplace(state, rhs_into, dt, k)
 
 
 class SSPRK2(_WorkspaceMixin):
@@ -113,10 +133,8 @@ class SSPRK2(_WorkspaceMixin):
         u0 = self._work("u0", state)
         k = self._work("k", state)
         _snapshot(state, u0)
-        rhs_into(state, k)
-        _axpy_inplace(state, dt, k)          # s1
-        rhs_into(state, k)
-        _axpy_inplace(state, dt, k)          # s1 + dt k2
+        _stage_inplace(state, rhs_into, dt, k)   # s1
+        _stage_inplace(state, rhs_into, dt, k)   # s1 + dt k2
         for key, arr in state.items():
             arr *= 0.5
             kk = k[key]
@@ -144,17 +162,14 @@ class SSPRK3(_WorkspaceMixin):
         u0 = self._work("u0", state)
         k = self._work("k", state)
         _snapshot(state, u0)
-        rhs_into(state, k)
-        _axpy_inplace(state, dt, k)          # s1 = u0 + dt k1
-        rhs_into(state, k)
-        _axpy_inplace(state, dt, k)          # s1 + dt k2
+        _stage_inplace(state, rhs_into, dt, k)   # s1 = u0 + dt k1
+        _stage_inplace(state, rhs_into, dt, k)   # s1 + dt k2
         for key, arr in state.items():       # s2 = 3/4 u0 + 1/4 (...)
             arr *= 0.25
             kk = k[key]
             np.multiply(u0[key], 0.75, out=kk)
             arr += kk
-        rhs_into(state, k)
-        _axpy_inplace(state, dt, k)          # s2 + dt k3
+        _stage_inplace(state, rhs_into, dt, k)   # s2 + dt k3
         for key, arr in state.items():       # u = 1/3 u0 + 2/3 (...)
             arr *= 2.0 / 3.0
             kk = k[key]
