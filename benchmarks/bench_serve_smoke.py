@@ -1,0 +1,127 @@
+"""Serving-layer smoke benchmark: submit latency, time-to-first-result,
+and the dedup cache-hit latency of a live ``repro.serve`` daemon.
+
+Starts an in-process :class:`~repro.serve.ServeDaemon` (real HTTP, real
+worker processes) over a scratch store, then measures over the wire:
+
+- ``submit_ms``       — POST /jobs round-trip for a new spec;
+- ``ttfr_ms``         — submit until GET /jobs/<id>/result returns the
+  finished summary (includes the simulation itself);
+- ``cached_hit_ms``   — resubmit + result fetch of the identical spec:
+  the serving layer's whole point, served with zero compute;
+- ``stream_ok``       — the streamed diagnostics body is byte-identical
+  to the on-disk ``diagnostics.jsonl`` (hard gate);
+- ``drain_clean``     — SIGTERM-equivalent drain exits with every worker
+  joined (hard gate).
+
+The cached hit must also answer much faster than the compute path; the
+default gate (``--max-cached-ratio``) only asserts it is not *slower*
+than the first run, which even a loaded shared runner clears.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_smoke.py --smoke --json serve-smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.runtime.scenarios import build
+from repro.serve import ServeClient, ServeDaemon
+
+
+def run(args: argparse.Namespace) -> dict:
+    overrides = (
+        dict(steps=3, nx=6, nv=6, poly_order=1)
+        if args.smoke
+        else dict(steps=50, nx=32, nv=32, poly_order=2)
+    )
+    spec = build("free_streaming", **overrides)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as root:
+        daemon = ServeDaemon(root, workers=args.workers, poll=0.02)
+        daemon.start()
+        try:
+            client = ServeClient.from_dir(root)
+
+            t0 = time.perf_counter()
+            first = client.submit(spec=spec)
+            submit_ms = (time.perf_counter() - t0) * 1e3
+            assert first["compute"] == "scheduled", first
+
+            result = client.result(first["job"], wait=True, timeout=600.0)
+            ttfr_ms = (time.perf_counter() - t0) * 1e3
+
+            t1 = time.perf_counter()
+            second = client.submit(spec=spec)
+            client.result(second["job"], wait=False)
+            cached_hit_ms = (time.perf_counter() - t1) * 1e3
+            assert second["compute"] == "cached", second
+            assert second["job"] == first["job"]
+
+            streamed = b"".join(client.stream_diagnostics(first["job"]))
+            on_disk = daemon.store.diagnostics_path(first["job"]).read_bytes()
+            stream_ok = streamed == on_disk and len(on_disk) > 0
+
+            snap = client.metrics()["metrics"]
+        finally:
+            drain_clean = daemon.drain(timeout=120.0)
+
+    return {
+        "config": overrides,
+        "workers": args.workers,
+        "steps_run": result["steps"],
+        "submit_ms": round(submit_ms, 3),
+        "ttfr_ms": round(ttfr_ms, 3),
+        "cached_hit_ms": round(cached_hit_ms, 3),
+        "cached_speedup": round(ttfr_ms / max(cached_hit_ms, 1e-9), 2),
+        "stream_ok": stream_ok,
+        "drain_clean": drain_clean,
+        "jobs_submitted": snap["jobs_submitted"],
+        "jobs_deduped": snap["jobs_deduped"],
+        "jobs_completed": snap["jobs_completed"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="tiny config for CI")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--json", type=Path, help="write results to this file")
+    parser.add_argument(
+        "--max-cached-ratio",
+        type=float,
+        default=1.0,
+        help="fail when cached_hit_ms exceeds this fraction of ttfr_ms",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(args)
+    print(json.dumps(results, indent=2))
+    if args.json:
+        args.json.write_text(json.dumps(results, indent=2))
+
+    failures = []
+    if not results["stream_ok"]:
+        failures.append("streamed diagnostics differ from the on-disk file")
+    if not results["drain_clean"]:
+        failures.append("drain did not join every worker")
+    if results["jobs_deduped"] < 1.0:
+        failures.append("resubmission was not deduplicated")
+    if results["cached_hit_ms"] > args.max_cached_ratio * results["ttfr_ms"]:
+        failures.append(
+            f"cached hit ({results['cached_hit_ms']:.1f} ms) slower than "
+            f"{args.max_cached_ratio:g}x first result ({results['ttfr_ms']:.1f} ms)"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,12 +43,40 @@ __all__ = [
     "prepare_campaign_dir",
     "claim_loop",
     "run_dispatched",
+    "validate_lease_timeout",
 ]
 
 PathLike = Union[str, Path]
 LOCK_DIR = "locks"
 CLAIMS_LOG = "claims.log"
 DEFAULT_LEASE_TIMEOUT = 900.0
+#: the heartbeat refreshes a held lease every ``max(timeout / 4, MIN_
+#: HEARTBEAT_INTERVAL)`` seconds; a timeout below ``MIN_LEASE_TIMEOUT``
+#: would leave the heartbeat interval too close to the staleness cutoff,
+#: so a *live* worker's lease could be stolen between two beats.
+MIN_HEARTBEAT_INTERVAL = 0.05
+MIN_LEASE_TIMEOUT = 0.2
+
+
+def validate_lease_timeout(timeout: float) -> float:
+    """Validate a lease timeout: the heartbeat interval (``timeout / 4``,
+    floored at :data:`MIN_HEARTBEAT_INTERVAL`) must stay well under the
+    staleness cutoff, or a live claimant could be taken over mid-run.
+    Raises ``ValueError`` with an actionable message otherwise."""
+    try:
+        t = float(timeout)
+    except (TypeError, ValueError):
+        raise ValueError(f"lease timeout must be a number, got {timeout!r}")
+    if not t > 0 or t != t or t == float("inf"):
+        raise ValueError(f"lease timeout must be a positive finite number, got {t!r}")
+    if t < MIN_LEASE_TIMEOUT:
+        interval = max(t / 4.0, MIN_HEARTBEAT_INTERVAL)
+        raise ValueError(
+            f"lease timeout {t} s is too small: the heartbeat refreshes every "
+            f"{interval:g} s and must stay well under the staleness cutoff "
+            f"(minimum timeout: {MIN_LEASE_TIMEOUT} s)"
+        )
+    return t
 
 
 class LeaseLock:
@@ -63,7 +91,7 @@ class LeaseLock:
 
     def __init__(self, path: PathLike, timeout: float = DEFAULT_LEASE_TIMEOUT):
         self.path = Path(path)
-        self.timeout = float(timeout)
+        self.timeout = validate_lease_timeout(timeout)
         self._held = False
         self._beat: Optional[threading.Event] = None
 
@@ -115,7 +143,7 @@ class LeaseLock:
 
     def _start_heartbeat(self) -> None:
         stop = threading.Event()
-        interval = max(self.timeout / 4.0, 0.05)
+        interval = max(self.timeout / 4.0, MIN_HEARTBEAT_INTERVAL)
 
         def beat() -> None:
             while not stop.wait(interval):
@@ -199,6 +227,7 @@ def claim_loop(
     them.  Returns ``{"ran": [...], "failed": [...]}`` for this worker.
     """
     outdir = Path(outdir)
+    lease_timeout = validate_lease_timeout(lease_timeout)
     manifest = load_manifest(outdir)
     if manifest is None:
         raise FileNotFoundError(f"no {MANIFEST_NAME} in {outdir}")
@@ -278,6 +307,7 @@ def run_dispatched(
     import multiprocessing as mp
 
     outdir = Path(outdir)
+    lease_timeout = validate_lease_timeout(lease_timeout)
     prepare_campaign_dir(campaign, outdir)
     workers = campaign.workers if workers is None else int(workers)
     if workers <= 1:

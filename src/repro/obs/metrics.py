@@ -30,6 +30,7 @@ __all__ = [
     "COUNTER_NAMES",
     "GAUGE_NAMES",
     "STEP_MS_BUCKETS",
+    "TTFR_MS_BUCKETS",
     "HIST_NAMES",
     "SLOT_NAMES",
     "SLOT",
@@ -58,23 +59,38 @@ COUNTER_NAMES = (
     "checkpoints",
     "checkpoint_ms",
     "spans_dropped",
+    # repro.serve job-service telemetry (zero in plain simulation runs)
+    "jobs_submitted",
+    "jobs_deduped",
+    "jobs_completed",
+    "jobs_failed",
 )
 
-#: gauges (merge: max) — high-water marks
-GAUGE_NAMES = ("scratch_bytes",)
+#: gauges (merge: max) — high-water marks / point-in-time levels
+GAUGE_NAMES = ("scratch_bytes", "queue_depth")
 
 #: fixed step-wall-time histogram bucket upper bounds [ms]
 STEP_MS_BUCKETS = (1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0)
-HIST_NAMES = tuple(
+_STEP_HIST_NAMES = tuple(
     f"step_ms_le_{b:g}" for b in STEP_MS_BUCKETS
 ) + ("step_ms_gt_1000",)
+
+#: time-to-first-result histogram bucket upper bounds [ms] (repro.serve:
+#: submit -> finished latency of jobs that actually computed)
+TTFR_MS_BUCKETS = (100.0, 300.0, 1000.0, 3000.0, 10000.0, 30000.0, 100000.0)
+_TTFR_HIST_NAMES = tuple(
+    f"ttfr_ms_le_{b:g}" for b in TTFR_MS_BUCKETS
+) + ("ttfr_ms_gt_100000",)
+
+HIST_NAMES = _STEP_HIST_NAMES + _TTFR_HIST_NAMES
 
 SLOT_NAMES = COUNTER_NAMES + GAUGE_NAMES + HIST_NAMES
 SLOT: Dict[str, int] = {name: i for i, name in enumerate(SLOT_NAMES)}
 
 _N_SLOTS = len(SLOT_NAMES)
 _GAUGE_SLOTS = frozenset(SLOT[n] for n in GAUGE_NAMES)
-_HIST0 = SLOT[HIST_NAMES[0]]
+_HIST0 = SLOT[_STEP_HIST_NAMES[0]]
+_TTFR0 = SLOT[_TTFR_HIST_NAMES[0]]
 
 
 class MetricsRegistry:
@@ -107,6 +123,12 @@ class MetricsRegistry:
 
     def observe_step_ms(self, ms: float) -> None:
         self.values[_HIST0 + bisect_left(STEP_MS_BUCKETS, ms)] += 1.0
+
+    def observe_ttfr_ms(self, ms: float) -> None:
+        self.values[_TTFR0 + bisect_left(TTFR_MS_BUCKETS, ms)] += 1.0
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.values[SLOT[name]] = value
 
     def reset(self) -> None:
         self.values[:] = 0.0

@@ -61,14 +61,22 @@ def load_trace(path: PathLike) -> List[SpanEvent]:
 
 def load_metrics(path: PathLike) -> List[dict]:
     """Every parseable record of a ``metrics.jsonl`` stream (records are
-    cumulative snapshots; the last one is the run's final word)."""
+    cumulative snapshots; the last one is the run's final word).
+
+    Unparseable lines are skipped: a still-running (or killed) writer may
+    leave a partial final line, and the complete records before it are
+    still a valid cumulative view.
+    """
     records = []
     with open(path) as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
-            records.append(json.loads(line))
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # partial tail of an in-progress stream
     return records
 
 
@@ -143,6 +151,10 @@ def render_report(outdir: PathLike, top: int = 10) -> str:
     final counters.  Works from whichever of trace.json / metrics.jsonl
     exists; raises ``FileNotFoundError`` when neither does."""
     outdir = Path(outdir)
+    if not outdir.exists():
+        raise FileNotFoundError(f"no such run directory: {outdir}")
+    if not outdir.is_dir():
+        raise FileNotFoundError(f"not a run directory: {outdir}")
     trace_path = outdir / "trace.json"
     metrics_path = outdir / "metrics.jsonl"
     if not trace_path.exists() and not metrics_path.exists():
@@ -153,8 +165,15 @@ def render_report(outdir: PathLike, top: int = 10) -> str:
         )
     sections: List[str] = []
 
+    events: Optional[List[SpanEvent]] = None
     if trace_path.exists():
-        events = load_trace(trace_path)
+        try:
+            events = load_trace(trace_path)
+        except (json.JSONDecodeError, KeyError, UnicodeDecodeError):
+            # a run that is still writing (or was killed mid-write) leaves a
+            # truncated trace.json; fall through to metrics, if any
+            events = None
+    if events is not None:
         phases = phase_breakdown(events)
         t_first = min((ev[3] for ev in events), default=0.0)
         t_last = max((ev[4] for ev in events), default=0.0)
@@ -226,4 +245,10 @@ def render_report(outdir: PathLike, top: int = 10) -> str:
                 + render_table(rows + hist, indent="  ", align=("<", ">"))
             )
 
+    if not sections:
+        raise FileNotFoundError(
+            f"observability output in {outdir} has no complete records yet "
+            "(run still in progress, or killed before the first flush?) — "
+            "retry once the run has written a full record"
+        )
     return "\n\n".join(sections)

@@ -11,6 +11,18 @@ Subcommands::
     repro worker <manifest-dir>        # claim campaign entries (lease-based)
     repro plans list|clear|warm        # inspect/manage the compiled-plan cache
     repro report <outdir>              # render a run's observability output
+    repro serve <dir>                  # job-service daemon (HTTP, dedup, workers)
+    repro submit <scenario|spec.json>  # submit a job to a serve daemon
+    repro jobs                         # list a serve daemon's jobs
+
+``repro serve <dir>`` turns the directory into a job store and serves it
+over HTTP: submissions are deduplicated by a canonical content hash of the
+spec (an identical resubmission returns the finished result with zero
+compute), queued jobs run on a pool of persistent lease-heartbeated worker
+processes, and ``GET /jobs/<id>/diagnostics`` streams the running job's
+``diagnostics.jsonl`` incrementally.  SIGTERM drains gracefully.
+``repro submit`` and ``repro jobs`` talk to a daemon via ``--url`` or
+``--dir <store-dir>`` (the daemon drops a ``serve.json`` rendezvous file).
 
 ``repro run ... --trace`` turns on full observability for the run
 (``observability.mode=trace``): a Chrome-trace ``trace.json`` (loadable in
@@ -42,6 +54,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from .campaign import CampaignSpec, run_campaign
@@ -185,7 +198,7 @@ def _cmd_campaign(args) -> int:
             campaign,
             outdir,
             workers=args.workers,
-            lease_timeout=args.lease_timeout,
+            lease_timeout=_checked_lease_timeout(args.lease_timeout),
             progress=_campaign_progress,
         )
     else:
@@ -201,12 +214,23 @@ def _cmd_campaign(args) -> int:
     return 1 if summary["failed"] else 0
 
 
+def _checked_lease_timeout(value) -> float:
+    """Validate ``--lease-timeout`` eagerly so a bad value is a usage
+    error (exit 2 with the field named), not a mid-run traceback."""
+    from ..dist.lease import validate_lease_timeout
+
+    try:
+        return validate_lease_timeout(value)
+    except ValueError as exc:
+        raise SpecError("--lease-timeout", str(exc)) from exc
+
+
 def _cmd_worker(args) -> int:
     from ..dist.lease import claim_loop
 
     summary = claim_loop(
         args.dir,
-        lease_timeout=args.lease_timeout,
+        lease_timeout=_checked_lease_timeout(args.lease_timeout),
         progress=_campaign_progress,
         max_points=args.max_points,
     )
@@ -264,6 +288,116 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from ..serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        args.dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        lease_timeout=_checked_lease_timeout(args.lease_timeout),
+        poll=args.poll,
+    )
+    daemon.start()
+    print(
+        f"serving {args.dir} on {daemon.url} "
+        f"({daemon.pool.workers} workers, lease timeout "
+        f"{daemon.lease_timeout:g}s); SIGTERM drains",
+        flush=True,
+    )
+    # start() already ran; run() reuses the live listener and blocks
+    return daemon.run()
+
+
+def _serve_client(args):
+    from ..serve import ServeClient
+
+    if args.url:
+        return ServeClient(args.url)
+    return ServeClient.from_dir(args.dir or ".")
+
+
+def _cmd_submit(args) -> int:
+    import os
+
+    from ..serve import ServeError
+    from .spec import SimulationSpec
+
+    overrides = _parse_set(args.set)
+    try:
+        client = _serve_client(args)
+        if os.path.isfile(args.scenario):
+            spec = SimulationSpec.from_json(Path(args.scenario).read_text())
+            if overrides:
+                spec = spec.with_overrides(overrides)
+            resp = client.submit(spec=spec)
+        else:
+            resp = client.submit(scenario=args.scenario, overrides=overrides)
+        job_id = resp["job"]
+        if args.stream:
+            for chunk in client.stream_diagnostics(job_id):
+                sys.stdout.buffer.write(chunk)
+                sys.stdout.buffer.flush()
+            final = client.job(job_id)
+            return 0 if final["status"] == "done" else 1
+        if args.wait:
+            result = client.result(job_id, wait=True, timeout=args.timeout)
+            if args.json:
+                print(json.dumps({**resp, "result": result}, indent=2))
+            else:
+                print(f"job           : {job_id[:16]} ({resp['compute']})")
+                _print_summary(result, as_json=False)
+            return 0
+        if args.json:
+            print(json.dumps(resp, indent=2))
+        else:
+            print(
+                f"job {job_id[:16]} {resp['compute']} "
+                f"(status: {resp['status']}, submits: {resp['submits']})"
+            )
+        return 0
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_jobs(args) -> int:
+    from ..serve import ServeError
+
+    try:
+        jobs = _serve_client(args).jobs()
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(jobs, indent=2))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    from ._fmt import render_table
+
+    rows = [
+        (
+            rec["id"][:16],
+            rec.get("name") or "?",
+            rec["status"],
+            rec.get("submits", 0),
+            rec.get("attempts", 0),
+            rec.get("worker") or "-",
+        )
+        for rec in jobs
+    ]
+    print(
+        render_table(
+            rows,
+            header=("job", "scenario", "status", "submits", "attempts", "worker"),
+        )
+    )
+    return 0
+
+
 def _cmd_plans_clear(args) -> int:
     cache = _plans_cache(args.cache)
     removed = cache.clear()
@@ -301,6 +435,8 @@ def _cmd_plans_warm(args) -> int:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from ..dist.lease import DEFAULT_LEASE_TIMEOUT
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Declarative runtime for the alias-free modal DG kinetic solver.",
@@ -373,7 +509,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument(
         "--lease-timeout",
         type=float,
-        default=900.0,
+        default=DEFAULT_LEASE_TIMEOUT,
         help="seconds before an unheartbeated claim lease counts as stale",
     )
     p_camp.set_defaults(func=_cmd_campaign)
@@ -382,11 +518,70 @@ def _build_parser() -> argparse.ArgumentParser:
         "worker", help="claim and run entries from a dispatched campaign"
     )
     p_worker.add_argument("dir", help="campaign directory (holds manifest.json)")
-    p_worker.add_argument("--lease-timeout", type=float, default=900.0)
+    p_worker.add_argument(
+        "--lease-timeout", type=float, default=DEFAULT_LEASE_TIMEOUT
+    )
     p_worker.add_argument(
         "--max-points", type=int, default=None, help="stop after N claims"
     )
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the job-service daemon over a store directory"
+    )
+    p_serve.add_argument("dir", help="job store directory (created if missing)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="persistent worker processes"
+    )
+    p_serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=DEFAULT_LEASE_TIMEOUT,
+        help="seconds before a crashed worker's job lease counts as stale",
+    )
+    p_serve.add_argument(
+        "--poll", type=float, default=0.2, help="worker/stream poll interval [s]"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a job to a running serve daemon"
+    )
+    p_submit.add_argument(
+        "scenario", help="registered scenario name, or a spec JSON file"
+    )
+    p_submit.add_argument("--set", action="append", default=[], metavar="KEY=VAL")
+    p_submit.add_argument("--url", default=None, help="daemon URL (http://host:port)")
+    p_submit.add_argument(
+        "--dir", default=None,
+        help="job store directory (reads the daemon's serve.json)",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true", help="block until the result is ready"
+    )
+    p_submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream the job's diagnostics.jsonl to stdout until it finishes",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=300.0, help="--wait timeout [s]"
+    )
+    p_submit.add_argument("--json", action="store_true")
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_jobs = sub.add_parser("jobs", help="list a serve daemon's jobs")
+    p_jobs.add_argument("--url", default=None, help="daemon URL (http://host:port)")
+    p_jobs.add_argument(
+        "--dir", default=None,
+        help="job store directory (reads the daemon's serve.json)",
+    )
+    p_jobs.add_argument("--json", action="store_true")
+    p_jobs.set_defaults(func=_cmd_jobs)
 
     p_plans = sub.add_parser(
         "plans", help="inspect or manage the compiled-plan disk cache"

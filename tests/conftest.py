@@ -30,6 +30,12 @@ def pytest_configure(config):
         "(state round-trip, rhs donation, checkpoint/resume, serial == "
         "process:2) plus the public-API snapshot and deprecation shims",
     )
+    config.addinivalue_line(
+        "markers",
+        "serve: repro.serve job-service tests (content-hash dedup, lease "
+        "crash recovery, HTTP streaming, SIGTERM drain); CI runs them as "
+        "their own matrix leg",
+    )
 
 
 @pytest.fixture(scope="session", autouse=True)

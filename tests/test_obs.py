@@ -497,7 +497,7 @@ def test_cli_run_trace_then_report(capsys, tmp_path):
 
 def test_cli_report_missing_outdir_fails(capsys, tmp_path):
     assert main(["report", str(tmp_path / "empty")]) == 2
-    assert "no observability output" in capsys.readouterr().err
+    assert "no such run directory" in capsys.readouterr().err
 
 
 # --------------------------------------------------------------------- #
